@@ -1,0 +1,80 @@
+// Command chainalyze replays a chain file written by heliumsim and
+// runs the chain-derived analyses of §3–§5 and §7 over it (the
+// p2p/IP analyses need the live world; use heliumsim -report for the
+// complete set).
+//
+// Usage:
+//
+//	chainalyze chain.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/core"
+	"peoplesnet/internal/names"
+)
+
+func main() {
+	pocWeight := flag.Float64("poc-weight", 600, "notional transactions per sampled PoC receipt")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chainalyze [-poc-weight N] <chain.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainalyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	c, err := chain.ReadChain(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainalyze: replay:", err)
+		os.Exit(1)
+	}
+	d := &core.Dataset{Chain: c, PoCWeight: *pocWeight}
+
+	s := d.SummarizeChain()
+	fmt.Printf("chain: %d blocks to height %d, %d txns (notional), PoC %.2f%%\n",
+		len(c.Blocks()), c.Height(), s.TotalTxns, s.PoCFraction*100)
+
+	m := d.AnalyzeMoves()
+	fmt.Printf("moves: %d hotspots, never-moved %.1f%%, >500 km moves %d\n",
+		m.Hotspots, m.NeverMovedFrac*100, len(m.LongMoves))
+	fmt.Printf("       intervals: day %.1f%% / week %.1f%% / month %.1f%%\n",
+		m.WithinDayFrac*100, m.WithinWeekFrac*100, m.WithinMoFrac*100)
+
+	g := d.AnalyzeGrowth()
+	fmt.Printf("growth: %d adds total, %.0f/day at the end\n", g.Total, g.FinalRate)
+
+	o := d.AnalyzeOwnership()
+	fmt.Printf("owners: %d, own-1 %.1f%%, ≤3 %.1f%%, max %d\n",
+		o.Owners, o.OwnOneFrac*100, o.AtMostThree*100, o.MaxOwned)
+
+	r := d.AnalyzeResale(10)
+	fmt.Printf("resale: %d transfers over %d hotspots (%.1f%%), zero-DC %.1f%%\n",
+		r.TotalTransfers, r.TransferredHotspots, r.TransferredFrac*100, r.ZeroDCFrac*100)
+
+	tr := d.AnalyzeTraffic()
+	fmt.Printf("traffic: %d packets, console share %.1f%%, final %.2f pkt/s\n",
+		tr.TotalPackets, tr.ConsoleShare*100, tr.FinalPktPerSec)
+	if tr.SpikeStartBlock > 0 {
+		fmt.Printf("         spike blocks %d–%d (peak %.0f pkts/close)\n",
+			tr.SpikeStartBlock, tr.SpikeEndBlock, tr.SpikePeak)
+	}
+
+	audit := d.AuditIncentives(1, 100)
+	fmt.Printf("audit: %d silent movers, %d lying witnesses, %d clique suspects\n",
+		len(audit.SilentMovers), len(audit.LyingWitness), len(audit.CliqueSuspects))
+	for i, sm := range audit.SilentMovers {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  silent mover %q: witnesses %.0f km from asserted location\n",
+			names.FromAddress(sm.Hotspot), sm.MedianWitnessKm)
+	}
+}

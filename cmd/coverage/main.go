@@ -1,0 +1,67 @@
+// Command coverage generates a world and evaluates §8.2.1's coverage
+// model family (Fig 12) over the contiguous US, plus the witness
+// distance and RSSI distributions (Figs 13–14).
+//
+// Usage:
+//
+//	coverage -scale small -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peoplesnet"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/plot"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "world seed")
+		scale   = flag.String("scale", "small", "world scale: small | paper")
+		drawMap = flag.Bool("map", false, "render a Fig 12a-style hotspot density map over CONUS")
+	)
+	flag.Parse()
+
+	var cfg peoplesnet.WorldConfig
+	switch *scale {
+	case "small":
+		cfg = peoplesnet.SmallWorld(*seed)
+	case "paper":
+		cfg = peoplesnet.PaperWorld(*seed)
+	default:
+		fmt.Fprintln(os.Stderr, "coverage: unknown scale (small|paper)")
+		os.Exit(2)
+	}
+	world, err := peoplesnet.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+	cov := peoplesnet.CoverageStudy(world)
+
+	fmt.Printf("CONUS hotspots: %d    PoC challenges: %d\n", cov.Hotspots, cov.Challenges)
+	fmt.Println("Fig 12 coverage models (% of contiguous US landmass):")
+	fmt.Printf("  300 m radius (12b):  %.5f%%   [paper: 0.09295%%]\n", cov.Radius300m.Fraction*100)
+	fmt.Printf("  convex hulls (12c):  %.5f%%\n", cov.ConvexHull.Fraction*100)
+	fmt.Printf("  hulls ≤25 km (12d):  %.5f%%   [paper: 0.5723%%]\n", cov.Hull25km.Fraction*100)
+	fmt.Printf("  radial+RSSI  (12e):  %.5f%%   [paper: 3.3032%%]\n", cov.RadialRSSI.Fraction*100)
+	fmt.Println(cov.WitnessDistKm.Render("Fig 13 witness distance", " km"))
+	fmt.Println(cov.WitnessRSSI.Render("Fig 14 witness RSSI", " dBm"))
+	fmt.Printf("[paper: median witness RSSI ≈ −108 dBm; RSSI growth adds ~20 m]\n")
+
+	if *drawMap {
+		fmt.Println("\nFig 12a-style density (CONUS hotspots; the paper's point: dots ≠ coverage):")
+		conus := geo.ContiguousUS()
+		b := conus.Bounds()
+		density := plot.NewDensity(b, 100, 30)
+		for _, h := range world.World.Hotspots {
+			if h.Online && !h.Asserted.IsZero() && conus.Contains(h.Asserted) {
+				density.Add(h.Asserted)
+			}
+		}
+		fmt.Println(density.String())
+	}
+}

@@ -1,0 +1,178 @@
+// Command explorer serves a generated world over HTTP in the style of
+// explorer.helium.com: hotspot listings, network statistics, coverage
+// figures, and the full measurement report.
+//
+// Endpoints:
+//
+//	GET /stats            network headline numbers (JSON)
+//	GET /hotspots         all hotspots with locations and names (JSON)
+//	GET /hotspots/{addr}  one hotspot
+//	GET /coverage         Fig 12 model percentages (JSON)
+//	GET /report           plain-text measurement report
+//
+// Usage:
+//
+//	explorer -listen :8080 -scale small -seed 42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"peoplesnet"
+	"peoplesnet/internal/coverage"
+	"peoplesnet/internal/names"
+)
+
+type server struct {
+	world *peoplesnet.World
+	study *peoplesnet.Study
+}
+
+type hotspotJSON struct {
+	Address string  `json:"address"`
+	Name    string  `json:"name"`
+	Owner   string  `json:"owner"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+	Online  bool    `json:"online"`
+	City    string  `json:"city"`
+	Country string  `json:"country"`
+}
+
+func (s *server) hotspotJSON(i int) hotspotJSON {
+	h := s.world.World.Hotspots[i]
+	city := s.world.World.Cities[h.City]
+	return hotspotJSON{
+		Address: h.Address,
+		Name:    names.FromAddress(h.Address),
+		Owner:   s.world.World.Owners[h.OwnerIdx].Address,
+		Lat:     h.Asserted.Lat,
+		Lon:     h.Asserted.Lon,
+		Online:  h.Online,
+		City:    city.Name,
+		Country: city.Country,
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	days := len(s.world.ConnectedByDay)
+	writeJSON(w, map[string]any{
+		"connected":      s.world.ConnectedByDay[days-1],
+		"online":         s.world.OnlineByDay[days-1],
+		"us_online":      s.world.USOnlineByDay[days-1],
+		"txns_notional":  s.study.Summary.TotalTxns,
+		"poc_share":      s.study.Summary.PoCFraction,
+		"owners":         s.study.Ownership.Owners,
+		"relayed_frac":   s.study.Relays.Stats.RelayedFraction(),
+		"console_share":  s.study.Traffic.ConsoleShare,
+		"final_pkts_sec": s.study.Traffic.FinalPktPerSec,
+	})
+}
+
+func (s *server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/hotspots")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		out := make([]hotspotJSON, 0, len(s.world.World.Hotspots))
+		for i := range s.world.World.Hotspots {
+			out = append(out, s.hotspotJSON(i))
+		}
+		writeJSON(w, out)
+		return
+	}
+	for i, h := range s.world.World.Hotspots {
+		if h.Address == rest || names.Slug(names.FromAddress(h.Address)) == rest {
+			writeJSON(w, s.hotspotJSON(i))
+			return
+		}
+	}
+	http.NotFound(w, r)
+}
+
+func (s *server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	cov := peoplesnet.CoverageStudy(s.world)
+	writeJSON(w, map[string]any{
+		"conus_hotspots":   cov.Hotspots,
+		"challenges":       cov.Challenges,
+		"radius_300m_pct":  cov.Radius300m.Fraction * 100,
+		"convex_hull_pct":  cov.ConvexHull.Fraction * 100,
+		"hull_25km_pct":    cov.Hull25km.Fraction * 100,
+		"radial_rssi_pct":  cov.RadialRSSI.Fraction * 100,
+		"witness_rssi_med": cov.WitnessRSSI.Median(),
+		"witness_dist_med": cov.WitnessDistKm.Median(),
+	})
+}
+
+// handleCoverageGeoJSON serves the PoC witness hulls as a GeoJSON
+// FeatureCollection for map overlays.
+func (s *server) handleCoverageGeoJSON(w http.ResponseWriter, _ *http.Request) {
+	challenges := coverage.FromChain(s.world.Chain)
+	hulls := coverage.HullPolygons(challenges, coverage.WitnessCutoffKm)
+	type feature struct {
+		Type     string         `json:"type"`
+		Geometry map[string]any `json:"geometry"`
+		Props    map[string]any `json:"properties"`
+	}
+	features := make([]feature, 0, len(hulls))
+	for _, h := range hulls {
+		features = append(features, feature{
+			Type: "Feature",
+			Geometry: map[string]any{
+				"type":        "Polygon",
+				"coordinates": h.GeoJSONCoordinates(),
+			},
+			Props: map[string]any{"area_km2": h.AreaKm2()},
+		})
+	}
+	writeJSON(w, map[string]any{"type": "FeatureCollection", "features": features})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.study.RenderText())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+		seed   = flag.Uint64("seed", 1, "world seed")
+		scale  = flag.String("scale", "small", "small | paper")
+	)
+	flag.Parse()
+
+	cfg := peoplesnet.SmallWorld(*seed)
+	if *scale == "paper" {
+		cfg = peoplesnet.PaperWorld(*seed)
+	}
+	log.Printf("generating %s world (seed %d)…", *scale, *seed)
+	world, err := peoplesnet.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{world: world, study: peoplesnet.Measure(world)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/hotspots", s.handleHotspots)
+	mux.HandleFunc("/hotspots/", s.handleHotspots)
+	mux.HandleFunc("/coverage", s.handleCoverage)
+	mux.HandleFunc("/coverage.geojson", s.handleCoverageGeoJSON)
+	mux.HandleFunc("/report", s.handleReport)
+
+	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report)", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

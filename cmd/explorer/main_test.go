@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"peoplesnet"
+	"peoplesnet/internal/names"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() {
+		cfg := peoplesnet.SmallWorld(55)
+		cfg.Days = 250
+		cfg.TargetHotspots = 300
+		world, err := peoplesnet.Simulate(cfg)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srv = &server{world: world, study: peoplesnet.Measure(world)}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func mux(s *server) *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/hotspots", s.handleHotspots)
+	m.HandleFunc("/hotspots/", s.handleHotspots)
+	m.HandleFunc("/coverage", s.handleCoverage)
+	m.HandleFunc("/report", s.handleReport)
+	return m
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(mux(testServer(t)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"connected", "online", "owners", "poc_share", "relayed_frac"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["connected"].(float64) <= 0 {
+		t.Fatal("no connected hotspots")
+	}
+}
+
+func TestHotspotsEndpoint(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(mux(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/hotspots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all []hotspotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(s.world.World.Hotspots) {
+		t.Fatalf("listed %d of %d hotspots", len(all), len(s.world.World.Hotspots))
+	}
+	if all[0].Name == "" || all[0].Address == "" {
+		t.Fatalf("hotspot row incomplete: %+v", all[0])
+	}
+
+	// Single lookup by address.
+	one, err := http.Get(ts.URL + "/hotspots/" + all[0].Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Body.Close()
+	var h hotspotJSON
+	if err := json.NewDecoder(one.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Address != all[0].Address {
+		t.Fatal("wrong hotspot returned")
+	}
+	// Lookup by name slug, explorer-style.
+	slug, err := http.Get(ts.URL + "/hotspots/" + names.Slug(h.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slug.Body.Close()
+	if slug.StatusCode != http.StatusOK {
+		t.Fatalf("slug lookup status %d", slug.StatusCode)
+	}
+	// Unknown hotspot 404s.
+	missing, _ := http.Get(ts.URL + "/hotspots/nope")
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing hotspot status %d", missing.StatusCode)
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	ts := httptest.NewServer(mux(testServer(t)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cov map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&cov); err != nil {
+		t.Fatal(err)
+	}
+	if cov["radius_300m_pct"] < 0 || cov["radial_rssi_pct"] < cov["radius_300m_pct"] {
+		t.Fatalf("coverage ordering broken: %v", cov)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	ts := httptest.NewServer(mux(testServer(t)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if n < 500 {
+		t.Fatalf("report too short: %d bytes", n)
+	}
+}

@@ -1,0 +1,160 @@
+// Command walktest runs the §8 empirical experiments: the best-case
+// stationary test, the residential re-run, and the urban/suburban
+// coverage walks, printing PRR, miss-run structure, the HIP15
+// prediction accuracy, and the ACK/NACK validity tables.
+//
+// Usage:
+//
+//	walktest -scenario all -seed 7
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"peoplesnet"
+	"peoplesnet/internal/fieldtest"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/plot"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 7, "experiment seed")
+		scenario = flag.String("scenario", "all", "bestcase | residential | urban | suburban | all")
+		drawMap  = flag.Bool("map", false, "render a Fig 15-style walk map (o=received, x=lost, H=hotspot)")
+		csvOut   = flag.String("csv", "", "write per-packet records to this CSV file")
+	)
+	flag.Parse()
+
+	type sc struct {
+		name  string
+		cfg   peoplesnet.FieldConfig
+		paper string
+	}
+	all := []sc{
+		{"best-case (§8.1)", peoplesnet.BestCaseExperiment(*seed), "PRR 68.61% with ~2 h outages"},
+		{"residential (§8.1)", peoplesnet.ResidentialExperiment(*seed), "PRR 73.2%, 83.5% single misses, longest 34"},
+		{"urban walk (Fig 15a)", peoplesnet.UrbanWalkExperiment(*seed), "PRR 72.9%; Table 2"},
+		{"suburban walk (Fig 15b)", peoplesnet.SuburbanWalkExperiment(*seed), "PRR 77.6%; Table 3"},
+	}
+	var run []sc
+	for _, s := range all {
+		switch *scenario {
+		case "all":
+			run = append(run, s)
+		case "bestcase":
+			if s.name[0] == 'b' {
+				run = append(run, s)
+			}
+		case "residential":
+			if s.name[0] == 'r' {
+				run = append(run, s)
+			}
+		case "urban":
+			if s.name[0] == 'u' {
+				run = append(run, s)
+			}
+		case "suburban":
+			if s.name[0] == 's' {
+				run = append(run, s)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "walktest: unknown scenario")
+			os.Exit(2)
+		}
+	}
+
+	for _, s := range run {
+		res, err := peoplesnet.RunField(s.cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "walktest: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		printResult(s.name, s.paper, s.cfg, res)
+		if *drawMap && s.cfg.Walk != nil {
+			fmt.Println(renderWalkMap(s.cfg, res))
+		}
+		if *csvOut != "" {
+			if err := writeCSV(*csvOut, res); err != nil {
+				fmt.Fprintln(os.Stderr, "walktest: csv:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d packets)\n", *csvOut, len(res.Packets))
+		}
+	}
+}
+
+// renderWalkMap draws the Fig 15 view: received packets as 'o', lost
+// as 'x', hotspots as 'H'.
+func renderWalkMap(cfg fieldtest.Config, res *fieldtest.Result) string {
+	var pts []geo.Point
+	for _, p := range res.Packets {
+		pts = append(pts, p.Loc)
+	}
+	for _, h := range cfg.Hotspots {
+		pts = append(pts, h.Loc)
+	}
+	canvas := plot.FitCanvas(pts, 76, 26, 0.08)
+	locs := make([]geo.Point, len(res.Packets))
+	marks := make([]rune, len(res.Packets))
+	for i, p := range res.Packets {
+		locs[i] = p.Loc
+		marks[i] = 'x'
+		if p.Cloud {
+			marks[i] = 'o'
+		}
+	}
+	canvas.PlotMajority(locs, marks)
+	for _, h := range cfg.Hotspots {
+		canvas.Plot(h.Loc, 'H')
+	}
+	return canvas.String()
+}
+
+// writeCSV exports per-packet records for external plotting.
+func writeCSV(path string, res *fieldtest.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"counter", "sent_at_sec", "lat", "lon", "receivers", "cloud", "acked", "ack_window"}); err != nil {
+		return err
+	}
+	for _, p := range res.Packets {
+		rec := []string{
+			strconv.FormatUint(uint64(p.Counter), 10),
+			strconv.FormatFloat(p.SentAt, 'f', 2, 64),
+			strconv.FormatFloat(p.Loc.Lat, 'f', 6, 64),
+			strconv.FormatFloat(p.Loc.Lon, 'f', 6, 64),
+			strconv.Itoa(p.Receivers),
+			strconv.FormatBool(p.Cloud),
+			strconv.FormatBool(p.Acked),
+			strconv.Itoa(p.AckWindow),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func printResult(name, paper string, cfg fieldtest.Config, res *fieldtest.Result) {
+	fmt.Printf("== %s ==   [paper: %s]\n", name, paper)
+	fmt.Printf("sent %d, cloud received %d, PRR %.2f%%\n", res.Sent, res.CloudReceived, res.PRR()*100)
+	single, atMost2, longest := res.MissRunStats()
+	fmt.Printf("miss runs: single %.1f%%, ≤2 %.1f%%, longest %d\n", single*100, atMost2*100, longest)
+	total := float64(res.Sent)
+	fmt.Printf("ACK validity: correct-ACK %.1f%%  correct-NACK %.1f%%  incorrect-ACK %.1f%%  incorrect-NACK %.1f%%\n",
+		float64(res.CorrectAck)/total*100, float64(res.CorrectNack)/total*100,
+		float64(res.IncorrectAck)/total*100, float64(res.IncorrectNack)/total*100)
+	within, outside := res.HIP15Accuracy(cfg.Hotspots)
+	fmt.Printf("HIP15 prediction: within-300m %.1f%%, outside %.1f%%   [paper: 55.5%% / 79.6%%]\n\n",
+		within*100, outside*100)
+}

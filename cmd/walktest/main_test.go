@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"peoplesnet"
+)
+
+func TestRenderWalkMapAndCSV(t *testing.T) {
+	cfg := peoplesnet.SuburbanWalkExperiment(3)
+	res, err := peoplesnet.RunField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := renderWalkMap(cfg, res)
+	if !strings.Contains(m, "H") {
+		t.Fatal("map missing hotspots")
+	}
+	if !strings.Contains(m, "o") {
+		t.Fatal("map missing received packets")
+	}
+	if !strings.Contains(m, "x") {
+		t.Fatal("map missing lost packets")
+	}
+	lines := strings.Split(m, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("map has %d lines", len(lines))
+	}
+
+	path := filepath.Join(t.TempDir(), "walk.csv")
+	if err := writeCSV(path, res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.Sent+1 {
+		t.Fatalf("csv rows = %d, want %d", len(rows), res.Sent+1)
+	}
+	if rows[0][0] != "counter" || len(rows[1]) != 8 {
+		t.Fatalf("csv shape wrong: %v", rows[0])
+	}
+}

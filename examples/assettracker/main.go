@@ -1,0 +1,86 @@
+// Assettracker models a Careband-style wander-management deployment
+// (§4.3.1): a wearable on a dementia patient, a fleet of hotspots
+// giving neighbourhood coverage, and an application that raises an
+// alert when the wearable stops being heard. It exercises the field-
+// experiment engine with a custom geometry instead of the paper's
+// canned scenarios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peoplesnet"
+	"peoplesnet/internal/device"
+	"peoplesnet/internal/fieldtest"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/radio"
+)
+
+func main() {
+	facility := geo.Point{Lat: 41.8881, Lon: -87.6354} // Merchandise Mart-ish
+
+	// The operator ringed the facility and surrounding blocks with
+	// hotspots (the paper found ~25 around Chicago).
+	cfg := peoplesnet.FieldConfig{
+		RouterLatencyBase:   0.3,
+		RouterLatencyJit:    0.4,
+		RelayPenaltySec:     1.0,
+		DownlinkExtraLossDB: 7,
+		Seed:                7,
+		DurationSec:         3 * 3600,
+	}
+	for i := 0; i < 9; i++ {
+		cfg.Hotspots = append(cfg.Hotspots, fieldtest.Hotspot{
+			Address:          fmt.Sprintf("careband-hs-%d", i),
+			Loc:              geo.Destination(facility, float64(i)*40, 0.15+0.12*float64(i)),
+			Env:              radio.Urban,
+			GainDBi:          3,
+			Online:           true,
+			BackhaulDropProb: 0.1,
+		})
+	}
+
+	// The patient wanders: a loop near the facility, then a long
+	// stray well beyond the covered blocks, then back.
+	nearA := geo.Destination(facility, 80, 0.3)
+	nearB := geo.Destination(facility, 200, 0.4)
+	farAway := geo.Destination(facility, 135, 4.5) // out of coverage
+	cfg.Walk = &device.Walk{
+		Waypoints: []geo.Point{facility, nearA, nearB, facility, farAway, facility},
+		SpeedKmh:  3.5,
+	}
+
+	res, err := peoplesnet.RunField(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Application logic: a "wander alert" fires after 90 s of silence.
+	const alertAfterSec = 90
+	lastHeard := 0.0
+	alerts := 0
+	alerted := false
+	for _, p := range res.Packets {
+		if p.Cloud {
+			lastHeard = p.SentAt
+			alerted = false
+			continue
+		}
+		if !alerted && p.SentAt-lastHeard > alertAfterSec {
+			alerts++
+			alerted = true
+			fmt.Printf("WANDER ALERT at t=%5.0fs — last heard %.0fs ago, last fix %.2f km from facility\n",
+				p.SentAt, p.SentAt-lastHeard, geo.HaversineKm(p.Loc, facility))
+		}
+	}
+
+	fmt.Printf("\ntracker summary: %d packets, PRR %.1f%% while wandering, %d wander alerts\n",
+		res.Sent, res.PRR()*100, alerts)
+	within, outside := res.HIP15Accuracy(cfg.Hotspots)
+	fmt.Printf("coverage promise: reception %.0f%% when within 300 m of a hotspot, silence correctly predicted %.0f%% outside\n",
+		within*100, outside*100)
+	if alerts == 0 {
+		fmt.Println("note: no alerts — the stray leg stayed within coverage this seed")
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: generate a small synthetic Helium world, run the full
+// measurement suite, and run one empirical field experiment — the
+// whole paper in three calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peoplesnet"
+)
+
+func main() {
+	// 1. Generate "the people's network": ~2,200 hotspots over the
+	// paper's July 2019 – May 2021 window, at 1/20 scale.
+	world, err := peoplesnet.Simulate(peoplesnet.SmallWorld(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d hotspots, %d chain txns, %d p2p peers\n",
+		len(world.World.Hotspots), world.Chain.TxnCount(), world.Peerbook.Len())
+
+	// 2. Measure it: every §3–§7 analysis in one call.
+	study := peoplesnet.Measure(world)
+	fmt.Printf("ownership: %d owners, %.0f%% own a single hotspot\n",
+		study.Ownership.Owners, study.Ownership.OwnOneFrac*100)
+	fmt.Printf("meta-infrastructure: %.0f%% of peers are NAT-relayed, top ISP is %s\n",
+		study.Relays.Stats.RelayedFraction()*100, study.ISPs.TopISPs[0].ISP)
+	fmt.Printf("incentive audit: %d silent movers, %d lying witnesses\n",
+		len(study.Audit.SilentMovers), len(study.Audit.LyingWitness))
+
+	// 3. Ask the empirical question (§8): how well does it actually
+	// work? Walk a LoRa device through a suburban neighbourhood.
+	result, err := peoplesnet.RunField(peoplesnet.SuburbanWalkExperiment(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suburban walk: %d packets sent, PRR %.1f%% (paper: 77.6%%)\n",
+		result.Sent, result.PRR()*100)
+	fmt.Printf("ACK validity: %d correct ACKs, %d false NACKs, %d false ACKs (paper: zero)\n",
+		result.CorrectAck, result.IncorrectNack, result.IncorrectAck)
+}

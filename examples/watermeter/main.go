@@ -1,0 +1,105 @@
+// Watermeter models a nowi-style water-monitoring service (§4.3.1):
+// a fleet of meters on the Helium Console, each reporting a few times
+// a day, with per-user Data Credit billing. It wires the router,
+// miner, and device components together directly — the layer beneath
+// the field-experiment engine — and reproduces the paper's §5.2
+// observation that a $10 DC purchase outlasts heavy real use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/chainkey"
+	"peoplesnet/internal/device"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/hotspot"
+	"peoplesnet/internal/lorawan"
+	"peoplesnet/internal/router"
+	"peoplesnet/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRNG(11)
+
+	// The Console: OUI 1, charging users at cost.
+	console := router.New(router.Config{
+		OUI:            1,
+		Owner:          "console",
+		Keys:           chainkey.Generate(rng),
+		ChargeUsers:    true,
+		LatencySampler: func() float64 { return 0.3 },
+	}, rng)
+	sink := &router.MemoryIntegration{}
+	console.SetIntegration(sink)
+	dir := router.NewDirectory(console)
+
+	// The property manager buys the Console minimum: $10 of DC.
+	const tenUSDinDC = 1_000_000
+	console.FundUser("edworks-llc", tenUSDinDC)
+
+	// Provision 50 meters.
+	const meters = 50
+	devs := make([]*device.Device, meters)
+	for i := range devs {
+		var key lorawan.AppKey
+		copy(key[:], fmt.Sprintf("meter-key-%06d!", i))
+		devs[i] = device.New(
+			lorawan.EUIFromUint64(uint64(0xAA00+i)),
+			lorawan.EUIFromUint64(0x01),
+			key,
+		)
+		console.RegisterDevice(router.Device{
+			DevEUI: devs[i].DevEUI, AppEUI: devs[i].AppEUI, AppKey: key,
+			UserID: "edworks-llc",
+		})
+	}
+
+	// One shared neighbourhood hotspot sells everything to the
+	// Console.
+	miner := hotspot.NewMiner("stonington-hs-1", dir)
+
+	// OTAA joins.
+	for _, d := range devs {
+		jr := d.BuildJoinRequest()
+		accept, _, err := miner.HandleUplink(jr)
+		if err != nil || accept == nil {
+			log.Fatalf("join failed: %v", err)
+		}
+		if err := d.HandleJoinAccept(accept); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A month of readings: each meter reports every 2 hours (the
+	// paper saw "tens of data packets every couple of hours" across
+	// the Stonington fleet).
+	const days = 30
+	sent, delivered := 0, 0
+	for day := 0; day < days; day++ {
+		for slot := 0; slot < 12; slot++ {
+			for _, d := range devs {
+				t := float64(day*86400 + slot*7200)
+				frame, err := d.SendCounter(t, geo.Point{Lat: 41.3359, Lon: -71.9062})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sent++
+				if _, _, err := miner.HandleUplink(frame); err == nil {
+					delivered++
+				}
+			}
+		}
+	}
+
+	spent := tenUSDinDC - console.UserBalance("edworks-llc")
+	fmt.Printf("fleet: %d meters × %d days = %d uplinks, %d billed to the Console\n",
+		meters, days, sent, sink.Count())
+	fmt.Printf("hotspot earnings: %d DC across %d packets sold\n",
+		miner.Stats().DCEarned, miner.Stats().PacketsSold)
+	fmt.Printf("bill: %d DC = $%.2f of the $10.00 deposit (%.1f%% used in a month)\n",
+		spent, float64(spent)*chain.USDPerDC, float64(spent)/tenUSDinDC*100)
+	years := 10.0 / (float64(spent) * chain.USDPerDC * 12)
+	fmt.Printf("at this rate the $10 minimum purchase lasts ≈%.0f years — the paper's own $10 was 15%% used after a year of research traffic\n", years)
+}

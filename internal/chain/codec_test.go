@@ -1,0 +1,113 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/h3lite"
+)
+
+// Property: every transaction type round-trips through the JSON
+// envelope with its payload intact.
+func TestTxnEnvelopeRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(gw, owner string, lat, lon float64, amount int64, pkts uint16) bool {
+		if gw == "" || owner == "" {
+			return true
+		}
+		lat = clampF(lat, -89, 89)
+		lon = clampF(lon, -179, 179)
+		if amount < 0 {
+			amount = -amount
+		}
+		cell := h3lite.FromLatLon(geo.Point{Lat: lat, Lon: lon}, 12)
+		txns := []Txn{
+			&AddGateway{Gateway: gw, Owner: owner, Location: cell, Maker: "RAK"},
+			&AssertLocation{Gateway: gw, Owner: owner, Location: cell, Nonce: int(pkts%7) + 1},
+			&TransferHotspot{Gateway: gw, Seller: owner, Buyer: owner + "2", AmountBones: amount},
+			&PoCRequest{Challenger: gw, SecretHash: "h"},
+			&PoCReceipt{Challenger: gw, Challengee: owner, ChallengeeLocation: cell,
+				Witnesses: []WitnessReport{{Witness: gw, RSSIdBm: -float64(pkts%140) - 1, Channel: int(pkts % 8), Valid: pkts%2 == 0}}},
+			&StateChannelOpen{ID: "sc", Owner: owner, OUI: 1, AmountDC: amount + 1, ExpireWithin: 240},
+			&StateChannelClose{ID: "sc", Owner: owner, Summaries: []SCSummary{{Hotspot: gw, Packets: int64(pkts), DC: int64(pkts)}}},
+			&Payment{Payer: owner, Payee: gw, AmountBones: amount + 1},
+			&TokenBurn{Payer: owner, Destination: gw, AmountBones: amount + 1},
+			&OUIRegistration{OUI: 3, Owner: owner, Filters: []string{"f"}},
+			&Rewards{Epoch: int64(pkts), Entries: []RewardEntry{{Account: owner, Gateway: gw, AmountBones: amount, Kind: RewardWitness}}},
+			&DCCoinbase{Payee: owner, AmountDC: amount + 1},
+			&SecurityCoinbase{Payee: owner, AmountBones: amount + 1},
+		}
+		blk := &Block{Height: 5, Txns: txns}
+		raw, err := json.Marshal(blk)
+		if err != nil {
+			return false
+		}
+		var back Block
+		if err := json.Unmarshal(raw, &back); err != nil {
+			return false
+		}
+		if len(back.Txns) != len(txns) {
+			return false
+		}
+		for i := range txns {
+			if back.Txns[i].TxnType() != txns[i].TxnType() {
+				return false
+			}
+			if Hash(back.Txns[i]) != Hash(txns[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v != v || v < lo { // NaN or below
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestUnknownTxnTypeRejected(t *testing.T) {
+	raw := []byte(`{"height":1,"txns":[{"type":99,"txn":{}}]}`)
+	var b Block
+	if err := json.Unmarshal(raw, &b); err == nil {
+		t.Fatal("unknown txn type decoded")
+	}
+}
+
+func TestLargeChainSerializationStable(t *testing.T) {
+	// Serialize, replay, serialize again: byte-identical output.
+	c := NewChain(DefaultGenesis)
+	for h := int64(1); h <= 50; h++ {
+		gw := "hs" + string(rune('a'+h%26)) + string(rune('0'+h%10))
+		c.AppendBlock(h*10, []Txn{
+			&AddGateway{Gateway: gw, Owner: "w"},
+			&AssertLocation{Gateway: gw, Owner: "w",
+				Location: h3lite.FromLatLon(geo.Point{Lat: float64(h), Lon: float64(h)}, 12), Nonce: 1},
+		})
+	}
+	var first bytes.Buffer
+	if _, err := c.WriteTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadChain(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if _, err := c2.WriteTo(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("serialization not stable across replay")
+	}
+}

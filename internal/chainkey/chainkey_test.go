@@ -1,0 +1,78 @@
+package chainkey
+
+import (
+	"testing"
+
+	"peoplesnet/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(stats.NewRNG(42))
+	b := Generate(stats.NewRNG(42))
+	if a.Address() != b.Address() {
+		t.Fatal("same seed produced different keys")
+	}
+	c := Generate(stats.NewRNG(43))
+	if a.Address() == c.Address() {
+		t.Fatal("different seeds produced same key")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := Generate(stats.NewRNG(1))
+	msg := []byte("state_channel_close payload")
+	sig := k.Sign(msg)
+	if !Verify(k.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(k.Public, []byte("tampered"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	other := Generate(stats.NewRNG(2))
+	if Verify(other.Public, msg, sig) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestVerifyStrict(t *testing.T) {
+	k := Generate(stats.NewRNG(3))
+	msg := []byte("m")
+	if err := VerifyStrict(k.Public, msg, k.Sign(msg)); err != nil {
+		t.Fatalf("VerifyStrict on valid sig: %v", err)
+	}
+	if err := VerifyStrict(k.Public, msg, make([]byte, 64)); err == nil {
+		t.Fatal("VerifyStrict accepted zero signature")
+	}
+}
+
+func TestVerifyShortKey(t *testing.T) {
+	if Verify([]byte{1, 2, 3}, []byte("m"), make([]byte, 64)) {
+		t.Fatal("short public key accepted")
+	}
+}
+
+func TestAddressFormat(t *testing.T) {
+	k := Generate(stats.NewRNG(4))
+	addr := k.Address()
+	if !ValidAddress(addr) {
+		t.Fatalf("generated address %q is invalid", addr)
+	}
+	if ValidAddress("bogus") || ValidAddress("sim1!!!!") || ValidAddress("") {
+		t.Fatal("invalid addresses accepted")
+	}
+	if AddressOf(k.Public) != addr {
+		t.Fatal("AddressOf disagrees with Address")
+	}
+}
+
+func TestAddressUniqueness(t *testing.T) {
+	rng := stats.NewRNG(5)
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		addr := Generate(rng).Address()
+		if seen[addr] {
+			t.Fatalf("duplicate address %q", addr)
+		}
+		seen[addr] = true
+	}
+}

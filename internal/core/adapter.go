@@ -1,0 +1,34 @@
+package core
+
+import (
+	"peoplesnet/internal/simnet"
+)
+
+// FromSimulation adapts a generated world into the analysis dataset,
+// deriving the IP metadata the paper collects with zannotate/as2org
+// from the simulated attachments.
+func FromSimulation(res *simnet.Result) *Dataset {
+	meta := make(map[string]HotspotMeta, len(res.World.Hotspots))
+	for _, h := range res.World.Hotspots {
+		m := HotspotMeta{
+			City:    res.World.Cities[h.City].Name,
+			Country: res.World.Cities[h.City].Country,
+			NATed:   h.Attachment.NATed,
+			Cloud:   h.Cloud,
+			ASN:     h.Attachment.ASN,
+		}
+		if h.Attachment.ISP != nil {
+			m.ISP = h.Attachment.ISP.Name
+		}
+		if h.Attachment.NATed {
+			m.ASN = 0 // NAT'd hotspots are invisible to the IP census
+		}
+		meta[h.Address] = m
+	}
+	return &Dataset{
+		Chain:     res.Chain,
+		Peerbook:  res.Peerbook,
+		Meta:      meta,
+		PoCWeight: res.Cfg.PoCWeight,
+	}
+}

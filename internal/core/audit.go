@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sort"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/radio"
+)
+
+// SilentMoverFinding is one §7.1 case: a hotspot whose witnesses sit
+// impossibly far from its asserted location.
+type SilentMoverFinding struct {
+	Hotspot string
+	// AssertedAt is the on-chain location.
+	AssertedAt geo.Point
+	// WitnessCentroid is where its witnesses actually cluster.
+	WitnessCentroid geo.Point
+	// MedianWitnessKm is the median asserted-location→witness
+	// distance across its receipts.
+	MedianWitnessKm float64
+	Receipts        int
+}
+
+// LyingWitnessFinding is one §7.2 case: a witness reporting physically
+// impossible RSSI.
+type LyingWitnessFinding struct {
+	Witness   string
+	MaxRSSI   float64
+	Reports   int
+	Absurd    int // reports above the EIRP ceiling
+	TooStrong int // reports beating free-space at the asserted distance
+}
+
+// IncentiveAudit bundles §7's findings.
+type IncentiveAudit struct {
+	SilentMovers []SilentMoverFinding
+	LyingWitness []LyingWitnessFinding
+	// CliqueSuspects lists witness pairs that repeatedly "witness"
+	// each other at distances beyond plausible radio range.
+	CliqueSuspects []CliquePair
+}
+
+// CliquePair is a suspicious mutual-witnessing pair.
+type CliquePair struct {
+	A, B       string
+	Count      int
+	MeanDistKm float64
+}
+
+// AuditIncentives scans PoC receipts for the paper's two case-study
+// patterns plus gossip-clique candidates. minReceipts is the number of
+// *contradicting* receipts (median witness distance beyond silentKm)
+// required before flagging a silent mover — one guards against radio
+// flukes; silentKm is the distance beyond which witnessing is deemed
+// physically impossible (the paper's examples are hundreds of km).
+func (d *Dataset) AuditIncentives(minReceipts int, silentKm float64) IncentiveAudit {
+	type moverAcc struct {
+		asserted geo.Point
+		// flagReceipts counts receipts whose *median* witness distance
+		// exceeds silentKm; a silent mover's post-move receipts all
+		// do, while pre-move history stays clean — so detection is
+		// per-receipt, not lifetime-averaged (§7.1's method: match the
+		// asserted location against where each challenge was actually
+		// witnessed).
+		flagReceipts int
+		receipts     int
+		worstMedian  float64
+		sumLat       float64
+		sumLon       float64
+		nWit         int
+	}
+	movers := make(map[string]*moverAcc)
+	type liarAcc struct {
+		max       float64
+		reports   int
+		absurd    int
+		tooStrong int
+	}
+	liars := make(map[string]*liarAcc)
+	type pairKey struct{ a, b string }
+	pairs := make(map[pairKey]*CliquePair)
+
+	d.Chain.ScanType(chain.TxnPoCReceipt, func(_ int64, t chain.Txn) bool {
+		r := t.(*chain.PoCReceipt)
+		if !r.ChallengeeLocation.Valid() || len(r.Witnesses) == 0 {
+			return true
+		}
+		asserted := r.ChallengeeLocation.Center()
+		if asserted.IsZero() || geo.HaversineKm(asserted, geo.Point{}) < 0.05 {
+			return true // (0,0) artifacts are a GPS failure, not a §7.1 cheat
+		}
+		acc := movers[r.Challengee]
+		if acc == nil {
+			acc = &moverAcc{}
+			movers[r.Challengee] = acc
+		}
+		acc.asserted = asserted
+		acc.receipts++
+		var receiptDists []float64
+		for _, w := range r.Witnesses {
+			if !w.Location.Valid() {
+				continue
+			}
+			wLoc := w.Location.Center()
+			dist := geo.HaversineKm(asserted, wLoc)
+			receiptDists = append(receiptDists, dist)
+			acc.sumLat += wLoc.Lat
+			acc.sumLon += wLoc.Lon
+			acc.nWit++
+
+			// Lying-witness heuristics.
+			la := liars[w.Witness]
+			if la == nil {
+				la = &liarAcc{max: -999} // RSSIs are negative; 0 would mask them
+				liars[w.Witness] = la
+			}
+			la.reports++
+			if w.RSSIdBm > la.max {
+				la.max = w.RSSIdBm
+			}
+			if w.RSSIdBm > radio.EIRPLimitDBm {
+				la.absurd++
+			} else if dist > 0.3 {
+				best := 27.0 + 12 - radio.FSPLdB(dist, 915)
+				if w.RSSIdBm > best+10 {
+					la.tooStrong++
+				}
+			}
+
+			// Repeated witnessing at beyond-plausible-radio range is the
+			// gossip-clique signature (§7.2). The bar is far lower than
+			// the silent-mover threshold: even elevated installs top out
+			// well under 50 km, so repeated 15 km+ "receptions" between
+			// the same pair are suspect.
+			if dist > silentKm/6 {
+				a, b := r.Challengee, w.Witness
+				if a > b {
+					a, b = b, a
+				}
+				p := pairs[pairKey{a, b}]
+				if p == nil {
+					p = &CliquePair{A: a, B: b}
+					pairs[pairKey{a, b}] = p
+				}
+				p.Count++
+				p.MeanDistKm += (dist - p.MeanDistKm) / float64(p.Count)
+			}
+		}
+		if len(receiptDists) > 0 {
+			sort.Float64s(receiptDists)
+			med := receiptDists[len(receiptDists)/2]
+			if med > silentKm {
+				acc.flagReceipts++
+				if med > acc.worstMedian {
+					acc.worstMedian = med
+				}
+			}
+		}
+		return true
+	})
+
+	var audit IncentiveAudit
+	for addr, acc := range movers {
+		if acc.flagReceipts < minReceipts || acc.nWit == 0 {
+			continue
+		}
+		audit.SilentMovers = append(audit.SilentMovers, SilentMoverFinding{
+			Hotspot:    addr,
+			AssertedAt: acc.asserted,
+			WitnessCentroid: geo.Point{
+				Lat: acc.sumLat / float64(acc.nWit),
+				Lon: acc.sumLon / float64(acc.nWit),
+			},
+			MedianWitnessKm: acc.worstMedian,
+			Receipts:        acc.flagReceipts,
+		})
+	}
+	for addr, la := range liars {
+		if la.absurd > 0 || la.tooStrong >= 2 {
+			audit.LyingWitness = append(audit.LyingWitness, LyingWitnessFinding{
+				Witness: addr, MaxRSSI: la.max, Reports: la.reports,
+				Absurd: la.absurd, TooStrong: la.tooStrong,
+			})
+		}
+	}
+	for _, p := range pairs {
+		if p.Count >= 2 {
+			audit.CliqueSuspects = append(audit.CliqueSuspects, *p)
+		}
+	}
+	sort.Slice(audit.SilentMovers, func(i, j int) bool {
+		return audit.SilentMovers[i].MedianWitnessKm > audit.SilentMovers[j].MedianWitnessKm
+	})
+	sort.Slice(audit.LyingWitness, func(i, j int) bool {
+		return audit.LyingWitness[i].MaxRSSI > audit.LyingWitness[j].MaxRSSI
+	})
+	sort.Slice(audit.CliqueSuspects, func(i, j int) bool {
+		return audit.CliqueSuspects[i].Count > audit.CliqueSuspects[j].Count
+	})
+	return audit
+}

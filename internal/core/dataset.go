@@ -1,0 +1,80 @@
+// Package core is the paper's primary contribution re-implemented as
+// a library: the measurement engine that turns a Helium ledger, a p2p
+// peerbook, and IP-level metadata into every table and figure of the
+// study — hotspot moves and growth (§4), ownership and resale (§4.3),
+// traffic through state channels (§5), ISP/ASN concentration and relay
+// topology (§6), incentive audits (§7), and coverage models (§8.2).
+package core
+
+import (
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/p2p"
+)
+
+// HotspotMeta is the side information the paper gathers outside the
+// chain: the hotspot's IP-derived ASN and ISP (zannotate + as2org),
+// its city, and whether it is NAT'd or cloud-hosted.
+type HotspotMeta struct {
+	City    string
+	Country string
+	ISP     string
+	ASN     uint32
+	NATed   bool
+	Cloud   bool
+}
+
+// Dataset bundles everything the analyses consume.
+type Dataset struct {
+	Chain    *chain.Chain
+	Peerbook *p2p.Peerbook
+	// Meta maps hotspot address → measurement metadata. Analyses that
+	// need it degrade gracefully when entries are missing.
+	Meta map[string]HotspotMeta
+	// PoCWeight is the notional number of real PoC transactions each
+	// materialized receipt represents (1 for an unsampled chain).
+	PoCWeight float64
+}
+
+// pocWeight returns the effective sampling weight.
+func (d *Dataset) pocWeight() float64 {
+	if d.PoCWeight <= 0 {
+		return 1
+	}
+	return d.PoCWeight
+}
+
+// ChainSummary reproduces §3's headline numbers: total transactions
+// and the PoC share.
+type ChainSummary struct {
+	TotalTxns    int64
+	PoCTxns      int64
+	PoCFraction  float64
+	ByType       map[chain.TxnType]int64
+	FirstBlock   int64
+	HighestBlock int64
+}
+
+// SummarizeChain computes the §3 transaction mix, scaling sampled PoC
+// transactions by the dataset's weight.
+func (d *Dataset) SummarizeChain() ChainSummary {
+	mix := d.Chain.TxnMix()
+	w := d.pocWeight()
+	s := ChainSummary{ByType: make(map[chain.TxnType]int64), HighestBlock: d.Chain.Height()}
+	blocks := d.Chain.Blocks()
+	if len(blocks) > 0 {
+		s.FirstBlock = blocks[0].Height
+	}
+	for tt, n := range mix {
+		c := n
+		if tt == chain.TxnPoCRequest || tt == chain.TxnPoCReceipt {
+			c = int64(float64(n) * w)
+			s.PoCTxns += c
+		}
+		s.ByType[tt] = c
+		s.TotalTxns += c
+	}
+	if s.TotalTxns > 0 {
+		s.PoCFraction = float64(s.PoCTxns) / float64(s.TotalTxns)
+	}
+	return s
+}

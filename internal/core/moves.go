@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
+)
+
+// MoveRecord is one relocation: consecutive location assertions of a
+// hotspot.
+type MoveRecord struct {
+	Hotspot    string
+	FromBlock  int64
+	ToBlock    int64
+	From       geo.Point
+	To         geo.Point
+	DistanceKm float64
+}
+
+// MoveAnalysis reproduces §4.1: Figures 2 (moves per hotspot),
+// 3 (move distances, long-distance classes, (0,0) artifacts), and
+// 4 (block intervals between relocations).
+type MoveAnalysis struct {
+	Hotspots int
+
+	// MovesPerHotspot is Fig 2. A "move" is an assertion after the
+	// first.
+	MovesPerHotspot *stats.Histogram
+	NeverMovedFrac  float64
+	AtMostTwoFrac   float64
+	MoreThanFive    float64
+	MaxMoves        int
+	MaxMover        string
+
+	// DistancesKm is Fig 3a/b; LongMoves lists every >500 km move
+	// (Fig 3c).
+	DistancesKm *stats.CDF
+	LongMoves   []MoveRecord
+
+	// IntervalBlocks is Fig 4.
+	IntervalBlocks *stats.CDF
+	WithinDayFrac  float64
+	WithinWeekFrac float64
+	WithinMoFrac   float64
+
+	// (0,0) artifacts (§4.1).
+	ZeroAssertions   int
+	ZeroFirstAsserts int
+	ZeroFirstFrac    float64
+	StillAtZero      int
+}
+
+// AnalyzeMoves scans location histories out of the replayed ledger.
+func (d *Dataset) AnalyzeMoves() MoveAnalysis {
+	a := MoveAnalysis{
+		MovesPerHotspot: stats.NewHistogram(),
+		DistancesKm:     &stats.CDF{},
+		IntervalBlocks:  &stats.CDF{},
+	}
+	for _, h := range d.Chain.Ledger().Hotspots() {
+		hist := h.LocationHistory
+		if len(hist) == 0 {
+			continue // never asserted (validators)
+		}
+		a.Hotspots++
+		moves := len(hist) - 1
+		a.MovesPerHotspot.Observe(moves)
+		if moves > a.MaxMoves {
+			a.MaxMoves = moves
+			a.MaxMover = h.Address
+		}
+		last := hist[len(hist)-1].Cell.Center()
+		if last.IsZero() {
+			a.StillAtZero++
+		}
+		for i, ev := range hist {
+			p := ev.Cell.Center()
+			// The H3 cell containing exactly (0,0) has a centroid a few
+			// meters off; treat anything within one cell of null island
+			// as a (0,0) assertion.
+			if geo.HaversineKm(p, geo.Point{}) < 0.05 {
+				a.ZeroAssertions++
+				if i == 0 {
+					a.ZeroFirstAsserts++
+				}
+			}
+			if i == 0 {
+				continue
+			}
+			from := hist[i-1].Cell.Center()
+			dist := geo.HaversineKm(from, p)
+			a.DistancesKm.Add(dist)
+			a.IntervalBlocks.Add(float64(ev.Block - hist[i-1].Block))
+			if dist > 500 {
+				a.LongMoves = append(a.LongMoves, MoveRecord{
+					Hotspot: h.Address, FromBlock: hist[i-1].Block, ToBlock: ev.Block,
+					From: from, To: p, DistanceKm: dist,
+				})
+			}
+		}
+	}
+	if a.Hotspots > 0 {
+		a.NeverMovedFrac = a.MovesPerHotspot.FracExactly(0)
+		a.AtMostTwoFrac = a.MovesPerHotspot.FracAtMost(2)
+		a.MoreThanFive = a.MovesPerHotspot.FracMoreThan(5)
+	}
+	if a.ZeroAssertions > 0 {
+		a.ZeroFirstFrac = float64(a.ZeroFirstAsserts) / float64(a.ZeroAssertions)
+	}
+	if a.IntervalBlocks.N() > 0 {
+		a.WithinDayFrac = a.IntervalBlocks.P(chain.BlocksPerDay)
+		a.WithinWeekFrac = a.IntervalBlocks.P(7 * chain.BlocksPerDay)
+		a.WithinMoFrac = a.IntervalBlocks.P(30 * chain.BlocksPerDay)
+	}
+	sort.Slice(a.LongMoves, func(i, j int) bool { return a.LongMoves[i].DistanceKm > a.LongMoves[j].DistanceKm })
+	return a
+}
+
+// GrowthAnalysis reproduces Fig 5 from the chain: hotspots added per
+// day and cumulatively.
+type GrowthAnalysis struct {
+	Daily      *stats.TimeSeries // adds per day
+	Cumulative *stats.TimeSeries
+	Total      int64
+	// PeakDaily is the largest single-day batch.
+	PeakDaily float64
+	// FinalRate is the mean adds/day over the last 30 days.
+	FinalRate float64
+	// ByMaker counts adds per hardware vendor — Fig 5's observation
+	// that "new production runs ('batches') are quickly placed into
+	// service" shows up as maker eras.
+	ByMaker map[string]int64
+	// FirstMakerDay records when each vendor's first unit appeared.
+	FirstMakerDay map[string]int64
+}
+
+// AnalyzeGrowth buckets add_gateway transactions by day.
+func (d *Dataset) AnalyzeGrowth() GrowthAnalysis {
+	perDay := make(map[int64]float64)
+	byMaker := make(map[string]int64)
+	firstMaker := make(map[string]int64)
+	var total int64
+	d.Chain.ScanType(chain.TxnAddGateway, func(h int64, t chain.Txn) bool {
+		day := h / chain.BlocksPerDay
+		perDay[day]++
+		total++
+		if m := t.(*chain.AddGateway).Maker; m != "" {
+			byMaker[m]++
+			if cur, ok := firstMaker[m]; !ok || day < cur {
+				firstMaker[m] = day
+			}
+		}
+		return true
+	})
+	g := GrowthAnalysis{
+		Daily:         stats.NewTimeSeries("hotspot adds/day"),
+		Total:         total,
+		ByMaker:       byMaker,
+		FirstMakerDay: firstMaker,
+	}
+	for day, n := range perDay {
+		g.Daily.Append(day, n)
+		if n > g.PeakDaily {
+			g.PeakDaily = n
+		}
+	}
+	g.Daily.Sort()
+	g.Cumulative = g.Daily.Cumulative()
+	// Final 30-day rate.
+	if n := g.Daily.Len(); n > 0 {
+		lastDay := g.Daily.Xs[n-1]
+		sum, days := 0.0, 0.0
+		for i := n - 1; i >= 0 && g.Daily.Xs[i] > lastDay-30; i-- {
+			sum += g.Daily.Ys[i]
+			days++
+		}
+		if days > 0 {
+			g.FinalRate = sum / days
+		}
+	}
+	return g
+}

@@ -1,0 +1,202 @@
+package fieldtest
+
+import (
+	"fmt"
+
+	"peoplesnet/internal/device"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/radio"
+	"peoplesnet/internal/stats"
+)
+
+// Scenario builders reproducing the paper's §8 setups. Coordinates are
+// synthetic stand-ins for the authors' San Diego locations; what
+// matters is the geometry (hotspot density, distances), the
+// environment class, and the backhaul reliability mix.
+
+// BestCase reproduces §8.1's first experiment: an unmodified hotspot
+// on good campus backhaul, a stationary dev board nearby, ~24 virtual
+// hours of free-running counter traffic, and multi-hour backhaul
+// outages around a firmware release. Between outages nearly every
+// packet gets through; the outages drag overall PRR to ≈0.69.
+func BestCase(seed uint64) Config {
+	center := geo.Point{Lat: 32.8812, Lon: -117.2344} // campus-ish
+	return Config{
+		Hotspots: []Hotspot{
+			// The owned hotspot: close, public IP, reliable.
+			{Address: "own-hotspot", Loc: geo.Destination(center, 45, 0.25), Env: radio.Urban, GainDBi: 3, Online: true, BackhaulDropProb: 0.02},
+			// Distant third-party hotspots that rarely matter.
+			{Address: "third-party-1", Loc: geo.Destination(center, 200, 2.4), Env: radio.Urban, GainDBi: 3, Online: true, Relayed: true, BackhaulDropProb: 0.3},
+			{Address: "third-party-2", Loc: geo.Destination(center, 320, 3.1), Env: radio.Urban, GainDBi: 3, Online: true, Relayed: true, BackhaulDropProb: 0.3},
+		},
+		DeviceLoc:   center,
+		DurationSec: 24 * 3600,
+		// ~7.3 h of firmware-update outage across the day → overall
+		// PRR ≈ (24−7.3)/24 · 0.98 ≈ 0.68.
+		Outages: []Outage{
+			{Start: 6 * 3600, End: 8 * 3600},
+			{Start: 12.2 * 3600, End: 14.7 * 3600},
+			{Start: 19 * 3600, End: 21.8 * 3600},
+		},
+		RouterLatencyBase:   0.25,
+		RouterLatencyJit:    0.5,
+		RelayPenaltySec:     1.1,
+		DownlinkExtraLossDB: 6,
+		StaticShadowing:     true,
+		Seed:                seed,
+	}
+}
+
+// Residential reproduces §8.1's September re-run: denser neighbourhood
+// (at least six hotspots ferry data, Fig 16), no firmware outages, but
+// a heavily relayed hotspot mix whose per-packet backhaul flakiness
+// yields PRR ≈ 0.73 with mostly short miss runs.
+func Residential(seed uint64) Config {
+	center := geo.Point{Lat: 32.7485, Lon: -117.1305}
+	rng := stats.NewRNG(seed ^ 0x5eed)
+	hs := make([]Hotspot, 0, 9)
+	for i := 0; i < 8; i++ {
+		bearing := float64(i) * 45
+		dist := 0.9 + rng.Float64()*1.0
+		relayed := rng.Bool(0.55) // §6.2's relay prevalence
+		drop := 0.3
+		if relayed {
+			drop = 0.55
+		}
+		hs = append(hs, Hotspot{
+			Address:          fmt.Sprintf("res-hs-%d", i),
+			Loc:              geo.Destination(center, bearing, dist),
+			Env:              radio.Urban,
+			GainDBi:          1 + rng.Float64()*3,
+			Relayed:          relayed,
+			Online:           true,
+			BackhaulDropProb: drop,
+		})
+	}
+	// The authors' own hotspot: same structure (strong RSSI ≈ −55) but
+	// NAT'd, relayed, and flaky — "rarely chosen by the Console".
+	hs = append(hs, Hotspot{
+		Address: "authors-own", Loc: geo.Destination(center, 10, 0.02),
+		Env: radio.DenseUrban, GainDBi: 0, Relayed: true, Online: true,
+		BackhaulDropProb: 0.27,
+	})
+	return Config{
+		Hotspots:            hs,
+		DeviceLoc:           center,
+		DurationSec:         8 * 3600,
+		RouterLatencyBase:   0.25,
+		RouterLatencyJit:    0.45,
+		RelayPenaltySec:     1.1,
+		DownlinkExtraLossDB: 6,
+		StaticShadowing:     true,
+		Seed:                seed,
+	}
+}
+
+// walkLoop builds a rectangular neighbourhood walk around center.
+func walkLoop(center geo.Point, legKm float64) *device.Walk {
+	a := geo.Destination(center, 0, legKm/2)
+	b := geo.Destination(a, 90, legKm)
+	c := geo.Destination(b, 180, legKm)
+	d := geo.Destination(c, 270, legKm)
+	return &device.Walk{
+		Waypoints: []geo.Point{a, b, c, d, a},
+		SpeedKmh:  4.5,
+	}
+}
+
+// UrbanWalk reproduces Fig 15a / Table 2: a walk through an urban
+// neighbourhood with moderate hotspot density. Expected PRR ≈ 0.73,
+// zero incorrect ACKs, ~13% incorrect NACKs.
+func UrbanWalk(seed uint64) Config {
+	center := geo.Point{Lat: 32.7157, Lon: -117.1611}
+	rng := stats.NewRNG(seed ^ 0x0b1)
+	walk := walkLoop(center, 1.4)
+	// Hotspots line the walked streets — the paper's Fig 15a shows
+	// blue coverage circles hugging most of the route with an
+	// uncovered stretch where the red (lost) dots cluster. Covering
+	// ~72% of the loop with street-adjacent hotspots reproduces both
+	// the ≈73% PRR and the contiguous loss runs.
+	hs := hotspotsAlongWalk(walk, "urb-hs", 0.02, 0.72, 9, 0.33,
+		radio.Urban, 0.3, 0.55, 0.55, rng)
+	return Config{
+		Hotspots:            hs,
+		Walk:                walk,
+		DurationSec:         2 * 3600,
+		RouterLatencyBase:   0.3,
+		RouterLatencyJit:    0.5,
+		RelayPenaltySec:     1.1,
+		DownlinkExtraLossDB: 0,
+		Seed:                seed,
+	}
+}
+
+// SuburbanWalk reproduces Fig 15b / Table 3: a sparser suburban area.
+// Expected PRR ≈ 0.78 with a higher incorrect-NACK rate (the cloud
+// hears the device more often than the device hears the cloud).
+func SuburbanWalk(seed uint64) Config {
+	center := geo.Point{Lat: 32.8328, Lon: -117.2713}
+	rng := stats.NewRNG(seed ^ 0x50b)
+	walk := walkLoop(center, 2.1)
+	// Sparser than the urban walk but with longer suburban reach:
+	// six hotspots cover ~78% of the loop (Fig 15b).
+	hs := hotspotsAlongWalk(walk, "sub-hs", 0.0, 0.78, 6, 1.62,
+		radio.Suburban, 0.38, 0.58, 0.5, rng)
+	return Config{
+		Hotspots:            hs,
+		Walk:                walk,
+		DurationSec:         1 * 3600,
+		RouterLatencyBase:   0.3,
+		RouterLatencyJit:    0.6,
+		RelayPenaltySec:     1.3,
+		DownlinkExtraLossDB: 0,
+		Seed:                seed,
+	}
+}
+
+// hotspotsAlongWalk places n hotspots just off the walked path,
+// covering the [fromFrac, toFrac] stretch of the walk and leaving the
+// rest bare. offKm sets how far from the path each hotspot sits.
+// dropPublic/dropRelayed are backhaul loss probabilities; relayedProb
+// matches §6.2's relay prevalence.
+func hotspotsAlongWalk(w *device.Walk, prefix string, fromFrac, toFrac float64,
+	n int, offKm float64, env radio.Environment,
+	dropPublic, dropRelayed, relayedProb float64, rng *stats.RNG) []Hotspot {
+	total := w.Duration()
+	hs := make([]Hotspot, 0, n)
+	for i := 0; i < n; i++ {
+		frac := fromFrac + (toFrac-fromFrac)*(float64(i)+0.5)/float64(n)
+		p := w.PositionAt(frac * total)
+		// Alternate between street-front installs (the walk passes
+		// right by them, populating the within-300 m bucket of the
+		// HIP15 accuracy check) and installs deeper into the blocks.
+		off := offKm * (0.6 + rng.Float64()*0.8)
+		near := i%3 == 0
+		if near {
+			off = 0.1 + rng.Float64()*0.15
+		}
+		loc := geo.Destination(p, rng.Float64()*360, off)
+		relayed := rng.Bool(relayedProb)
+		drop := dropPublic
+		if relayed {
+			drop = dropRelayed
+		}
+		if near {
+			// Street-front installs are residential NAT'd boxes — the
+			// paper's own strong-RSSI hotspot was relayed and rarely
+			// chosen by the Console (Fig 16).
+			relayed = true
+			drop = dropRelayed + 0.18
+		}
+		hs = append(hs, Hotspot{
+			Address:          fmt.Sprintf("%s-%d", prefix, i),
+			Loc:              loc,
+			Env:              env,
+			GainDBi:          1.5 + rng.Float64()*3,
+			Relayed:          relayed,
+			Online:           true,
+			BackhaulDropProb: drop,
+		})
+	}
+	return hs
+}

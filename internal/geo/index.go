@@ -1,0 +1,78 @@
+package geo
+
+import "math"
+
+// SpatialIndex buckets points into a fixed lat/lon grid for fast
+// radius queries — the PoC engine uses it to find candidate witnesses
+// near a challengee without scanning the whole fleet.
+//
+// The index is build-then-query: Add everything, then call Near.
+// It is not safe for concurrent mutation.
+type SpatialIndex struct {
+	cellDeg float64
+	buckets map[[2]int][]indexEntry
+	n       int
+}
+
+type indexEntry struct {
+	id int
+	p  Point
+}
+
+// NewSpatialIndex creates an index with buckets roughly cellKm wide
+// (sized at the equator; buckets get narrower in ground distance at
+// high latitude, which only makes queries slightly over-inclusive —
+// results are exact because candidates are distance-filtered).
+func NewSpatialIndex(cellKm float64) *SpatialIndex {
+	kmPerDeg := 2 * math.Pi * EarthRadiusKm / 360
+	return &SpatialIndex{
+		cellDeg: cellKm / kmPerDeg,
+		buckets: make(map[[2]int][]indexEntry),
+	}
+}
+
+func (s *SpatialIndex) key(p Point) [2]int {
+	return [2]int{
+		int(math.Floor(p.Lat / s.cellDeg)),
+		int(math.Floor(p.Lon / s.cellDeg)),
+	}
+}
+
+// Add registers a point under an integer id (typically a slice index).
+func (s *SpatialIndex) Add(id int, p Point) {
+	k := s.key(p)
+	s.buckets[k] = append(s.buckets[k], indexEntry{id: id, p: p})
+	s.n++
+}
+
+// Len returns the number of indexed points.
+func (s *SpatialIndex) Len() int { return s.n }
+
+// Near returns the ids of all points within radiusKm of p, in
+// unspecified order.
+func (s *SpatialIndex) Near(p Point, radiusKm float64) []int {
+	if radiusKm <= 0 {
+		return nil
+	}
+	kmPerDeg := 2 * math.Pi * EarthRadiusKm / 360
+	dLat := radiusKm / kmPerDeg
+	cosLat := math.Cos(deg2rad(p.Lat))
+	if cosLat < 0.01 {
+		cosLat = 0.01
+	}
+	dLon := radiusKm / (kmPerDeg * cosLat)
+
+	minK := s.key(Point{Lat: p.Lat - dLat, Lon: p.Lon - dLon})
+	maxK := s.key(Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon})
+	var out []int
+	for ki := minK[0]; ki <= maxK[0]; ki++ {
+		for kj := minK[1]; kj <= maxK[1]; kj++ {
+			for _, e := range s.buckets[[2]int{ki, kj}] {
+				if HaversineKm(p, e.p) <= radiusKm {
+					out = append(out, e.id)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package geo
+
+import (
+	"sort"
+	"testing"
+
+	"peoplesnet/internal/stats"
+)
+
+func TestSpatialIndexExactness(t *testing.T) {
+	// Index results must match a brute-force scan exactly.
+	rng := stats.NewRNG(11)
+	idx := NewSpatialIndex(25)
+	pts := make([]Point, 2000)
+	for i := range pts {
+		pts[i] = Point{Lat: 30 + rng.Float64()*10, Lon: -120 + rng.Float64()*20}
+		idx.Add(i, pts[i])
+	}
+	if idx.Len() != 2000 {
+		t.Fatalf("len = %d", idx.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := Point{Lat: 30 + rng.Float64()*10, Lon: -120 + rng.Float64()*20}
+		radius := 5 + rng.Float64()*100
+		got := idx.Near(q, radius)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if HaversineKm(q, p) <= radius {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: id mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestSpatialIndexEdgeCases(t *testing.T) {
+	idx := NewSpatialIndex(10)
+	if got := idx.Near(Point{0, 0}, 10); got != nil {
+		t.Fatal("empty index returned results")
+	}
+	idx.Add(1, Point{0, 0})
+	if got := idx.Near(Point{0, 0}, 0); got != nil {
+		t.Fatal("zero radius returned results")
+	}
+	if got := idx.Near(Point{0, 0}, -5); got != nil {
+		t.Fatal("negative radius returned results")
+	}
+	got := idx.Near(Point{0, 0.001}, 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("nearby query = %v", got)
+	}
+}
+
+func TestSpatialIndexHighLatitude(t *testing.T) {
+	// Longitude compression near the poles must not lose results.
+	idx := NewSpatialIndex(25)
+	p := Point{Lat: 69.5, Lon: 18.9} // Tromsø-ish
+	q := Destination(p, 90, 40)      // 40 km east
+	idx.Add(0, p)
+	got := idx.Near(q, 45)
+	if len(got) != 1 {
+		t.Fatalf("high-latitude neighbour missed: %v", got)
+	}
+}

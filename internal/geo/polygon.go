@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Polygon is a simple (non-self-intersecting) polygon on the sphere,
+// given as a ring of vertices in order (either winding). The closing
+// edge from the last vertex back to the first is implicit.
+//
+// Polygons in this study are regional (PoC witness hulls, metro areas,
+// the contiguous-US landmass), so edges are treated as short rhumb
+// segments on an equirectangular projection centered on the polygon:
+// accurate to well under a percent at these scales and much cheaper
+// than full spherical polygon math.
+type Polygon struct {
+	Vertices []Point
+}
+
+// NewPolygon copies the vertex ring into a Polygon.
+func NewPolygon(vertices []Point) Polygon {
+	return Polygon{Vertices: append([]Point(nil), vertices...)}
+}
+
+// centroidLat returns the mean latitude, used to scale longitudes for
+// the local equirectangular projection.
+func (pg Polygon) centroidLat() float64 {
+	if len(pg.Vertices) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range pg.Vertices {
+		sum += v.Lat
+	}
+	return sum / float64(len(pg.Vertices))
+}
+
+// project maps p to local planar km coordinates around refLat.
+func project(p Point, refLat float64) (x, y float64) {
+	kmPerDegLat := 2 * math.Pi * EarthRadiusKm / 360
+	kmPerDegLon := kmPerDegLat * math.Cos(deg2rad(refLat))
+	return p.Lon * kmPerDegLon, p.Lat * kmPerDegLat
+}
+
+// AreaKm2 returns the polygon's area in square kilometers using the
+// shoelace formula on the local projection. The result is always
+// non-negative; degenerate polygons (<3 vertices) have zero area.
+func (pg Polygon) AreaKm2() float64 {
+	if len(pg.Vertices) < 3 {
+		return 0
+	}
+	ref := pg.centroidLat()
+	area := 0.0
+	n := len(pg.Vertices)
+	for i := 0; i < n; i++ {
+		x1, y1 := project(pg.Vertices[i], ref)
+		x2, y2 := project(pg.Vertices[(i+1)%n], ref)
+		area += x1*y2 - x2*y1
+	}
+	return math.Abs(area) / 2
+}
+
+// Contains reports whether p is inside the polygon (ray casting on the
+// local projection). Points exactly on an edge may be classified
+// either way; the rasterizer's resolution dominates any edge effects.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg.Vertices[i], pg.Vertices[j]
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			slope := (vj.Lon-vi.Lon)*(p.Lat-vi.Lat)/(vj.Lat-vi.Lat) + vi.Lon
+			if p.Lon < slope {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Bounds returns the polygon's bounding box.
+func (pg Polygon) Bounds() BoundingBox { return BoundsOf(pg.Vertices) }
+
+// GeoJSONCoordinates renders the ring in GeoJSON Polygon coordinate
+// order ([lon, lat], closed ring).
+func (pg Polygon) GeoJSONCoordinates() [][][2]float64 {
+	if len(pg.Vertices) == 0 {
+		return nil
+	}
+	ring := make([][2]float64, 0, len(pg.Vertices)+1)
+	for _, v := range pg.Vertices {
+		ring = append(ring, [2]float64{v.Lon, v.Lat})
+	}
+	ring = append(ring, ring[0]) // close the ring
+	return [][][2]float64{ring}
+}
+
+// Circle approximates a geodesic circle of the given radius around
+// center as an n-gon polygon. n must be >= 3.
+func Circle(center Point, radiusKm float64, n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	verts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		verts[i] = Destination(center, float64(i)*360/float64(n), radiusKm)
+	}
+	return Polygon{Vertices: verts}
+}
+
+// ConvexHull returns the convex hull of pts as a Polygon, computed
+// with Andrew's monotone chain on the local equirectangular
+// projection. Duplicate points are tolerated. Fewer than 3 distinct
+// points yield a degenerate polygon with the distinct points as
+// vertices (zero area).
+func ConvexHull(pts []Point) Polygon {
+	if len(pts) == 0 {
+		return Polygon{}
+	}
+	sorted := append([]Point(nil), pts...)
+	sortPoints(sorted)
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		last := uniq[len(uniq)-1]
+		if p.Lat != last.Lat || p.Lon != last.Lon {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return Polygon{Vertices: append([]Point(nil), uniq...)}
+	}
+	cross := func(o, a, b Point) float64 {
+		return (a.Lon-o.Lon)*(b.Lat-o.Lat) - (a.Lat-o.Lat)*(b.Lon-o.Lon)
+	}
+	var hull []Point
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon{Vertices: hull[:len(hull)-1]}
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Lon != pts[j].Lon {
+			return pts[i].Lon < pts[j].Lon
+		}
+		return pts[i].Lat < pts[j].Lat
+	})
+}

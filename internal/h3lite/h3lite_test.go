@@ -1,0 +1,267 @@
+package h3lite
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
+)
+
+func TestEdgeLengths(t *testing.T) {
+	// Paper §4.1: res-12 hexes have an average edge length of 9.4 m.
+	e12 := EdgeKm(12) * 1000
+	if math.Abs(e12-9.4157) > 0.01 {
+		t.Fatalf("res-12 edge = %v m, want ~9.4157", e12)
+	}
+	if EdgeKm(0) != res0EdgeKm {
+		t.Fatal("res-0 edge wrong")
+	}
+	// Each resolution shrinks the edge by sqrt(7).
+	for r := 1; r <= MaxRes; r++ {
+		ratio := EdgeKm(r-1) / EdgeKm(r)
+		if math.Abs(ratio-math.Sqrt(7)) > 1e-9 {
+			t.Fatalf("edge ratio at res %d = %v", r, ratio)
+		}
+	}
+}
+
+func TestHexArea(t *testing.T) {
+	// The paper quotes "average area of 3.1 m²" for res-12 cells, but
+	// that is inconsistent with its own 9.4 m edge figure: a regular
+	// hexagon with a 9.4 m edge has area 3√3/2·9.4² ≈ 230 m², and real
+	// H3 documents res-12 average area as ~307 m². We test the
+	// geometric truth for our lattice.
+	a12 := HexAreaKm2(12) * 1e6 // m²
+	want := 3 * math.Sqrt(3) / 2 * 9.4157 * 9.4157
+	if math.Abs(a12-want)/want > 0.01 {
+		t.Fatalf("res-12 area = %v m², want ~%v", a12, want)
+	}
+}
+
+func TestRoundTripCenterStable(t *testing.T) {
+	// Encoding a cell's center must return the same cell.
+	r := stats.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		p := geo.Point{Lat: r.Float64()*140 - 70, Lon: r.Float64()*360 - 180}
+		for _, res := range []int{5, 9, 12} {
+			c := FromLatLon(p, res)
+			c2 := FromLatLon(c.Center(), res)
+			if c != c2 {
+				t.Fatalf("center round trip failed at res %d for %v: %v vs %v", res, p, c, c2)
+			}
+		}
+	}
+}
+
+func TestEncodingDistanceBound(t *testing.T) {
+	// A point is never farther than one edge length from its cell's
+	// center (projected distortion adds cos(lat) slack in longitude,
+	// so allow a generous multiplier).
+	r := stats.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		p := geo.Point{Lat: r.Float64()*120 - 60, Lon: r.Float64()*360 - 180}
+		c := FromLatLon(p, 12)
+		d := geo.HaversineKm(p, c.Center())
+		if d > EdgeKm(12)*1.5 {
+			t.Fatalf("point %v is %v km from cell center (edge %v km)", p, d, EdgeKm(12))
+		}
+	}
+}
+
+func TestCellValidity(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 32.7, Lon: -117.1}, 12)
+	if !c.Valid() {
+		t.Fatal("cell should be valid")
+	}
+	if InvalidCell.Valid() {
+		t.Fatal("InvalidCell should be invalid")
+	}
+	if c.Res() != 12 {
+		t.Fatalf("Res = %d", c.Res())
+	}
+}
+
+func TestNeighborsAdjacent(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 40, Lon: -100}, 9)
+	for i, n := range c.Neighbors() {
+		if GridDistance(c, n) != 1 {
+			t.Fatalf("neighbor %d at grid distance %d", i, GridDistance(c, n))
+		}
+		// Physical adjacency: neighbor centers are ~edge*sqrt(3) apart
+		// in projected space.
+		d := geo.HaversineKm(c.Center(), n.Center())
+		want := EdgeKm(9) * math.Sqrt(3)
+		if d > want*1.3 || d < want*0.5 {
+			t.Fatalf("neighbor %d center distance = %v km, want ~%v", i, d, want)
+		}
+	}
+}
+
+func TestNeighborsDistinct(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 40, Lon: -100}, 9)
+	seen := map[Cell]bool{c: true}
+	for _, n := range c.Neighbors() {
+		if seen[n] {
+			t.Fatal("duplicate neighbor")
+		}
+		seen[n] = true
+	}
+}
+
+func TestRingSizes(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 33, Lon: -117}, 8)
+	for k := 0; k <= 5; k++ {
+		ring := c.Ring(k)
+		want := 6 * k
+		if k == 0 {
+			want = 1
+		}
+		if len(ring) != want {
+			t.Fatalf("Ring(%d) has %d cells, want %d", k, len(ring), want)
+		}
+		for _, rc := range ring {
+			if GridDistance(c, rc) != k {
+				t.Fatalf("Ring(%d) cell at distance %d", k, GridDistance(c, rc))
+			}
+		}
+	}
+}
+
+func TestDiskSize(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 33, Lon: -117}, 8)
+	for k := 0; k <= 4; k++ {
+		disk := c.Disk(k)
+		want := 1 + 3*k*(k+1)
+		if len(disk) != want {
+			t.Fatalf("Disk(%d) has %d cells, want %d", k, len(disk), want)
+		}
+	}
+}
+
+func TestGridDistanceProperties(t *testing.T) {
+	r := stats.NewRNG(3)
+	err := quick.Check(func(seed uint32) bool {
+		rr := stats.NewRNG(uint64(seed))
+		a := geo.Point{Lat: rr.Float64()*100 - 50, Lon: rr.Float64()*300 - 150}
+		b := geo.Point{Lat: a.Lat + rr.Normal(0, 0.1), Lon: a.Lon + rr.Normal(0, 0.1)}
+		ca, cb := FromLatLon(a, 9), FromLatLon(b, 9)
+		d := GridDistance(ca, cb)
+		if d < 0 {
+			return false
+		}
+		if d != GridDistance(cb, ca) { // symmetry
+			return false
+		}
+		if (d == 0) != (ca == cb) { // identity
+			return false
+		}
+		_ = r
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridDistanceDifferentRes(t *testing.T) {
+	a := FromLatLon(geo.Point{Lat: 10, Lon: 10}, 8)
+	b := FromLatLon(geo.Point{Lat: 10, Lon: 10}, 9)
+	if GridDistance(a, b) != -1 {
+		t.Fatal("cross-resolution distance should be -1")
+	}
+}
+
+func TestParentContainsChildCenter(t *testing.T) {
+	r := stats.NewRNG(4)
+	for i := 0; i < 500; i++ {
+		p := geo.Point{Lat: r.Float64()*120 - 60, Lon: r.Float64()*340 - 170}
+		child := FromLatLon(p, 12)
+		parent := child.Parent(8)
+		if parent.Res() != 8 {
+			t.Fatalf("parent res = %d", parent.Res())
+		}
+		// The child's center must map back into the parent.
+		if FromLatLon(child.Center(), 8) != parent {
+			t.Fatalf("parent does not contain child center for %v", p)
+		}
+	}
+}
+
+func TestParentSameRes(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 5, Lon: 5}, 9)
+	if c.Parent(9) != c {
+		t.Fatal("Parent at same res should be identity")
+	}
+}
+
+func TestBoundaryVertices(t *testing.T) {
+	c := FromLatLon(geo.Point{Lat: 33, Lon: -117}, 10)
+	b := c.Boundary()
+	if len(b) != 6 {
+		t.Fatalf("boundary has %d vertices", len(b))
+	}
+	center := c.Center()
+	for _, v := range b {
+		d := geo.HaversineKm(center, v)
+		if d > EdgeKm(10)*1.2 || d < EdgeKm(10)*0.5 {
+			t.Fatalf("vertex distance = %v km (edge %v)", d, EdgeKm(10))
+		}
+	}
+}
+
+func TestPentagonDistortionIsRare(t *testing.T) {
+	r := stats.NewRNG(5)
+	distorted := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		p := geo.Point{Lat: r.Float64()*140 - 70, Lon: r.Float64()*360 - 180}
+		if FromLatLon(p, 12).PentagonDistorted() {
+			distorted++
+		}
+	}
+	if distorted > n/100 {
+		t.Fatalf("pentagon distortion too common: %d/%d", distorted, n)
+	}
+	// But cells at an anchor are distorted.
+	anchor := FromLatLon(geo.Point{Lat: 26.57, Lon: 72}, 12)
+	if !anchor.PentagonDistorted() {
+		t.Fatal("cell at icosahedron anchor should be distorted")
+	}
+}
+
+func TestResolutionPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EdgeKm(-1) },
+		func() { EdgeKm(16) },
+		func() { FromLatLon(geo.Point{}, 20) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNearbyPointsSameCell(t *testing.T) {
+	// Points within a meter of each other land in the same res-9 cell
+	// essentially always (res-9 edge ~174 m).
+	p := geo.Point{Lat: 32.71570, Lon: -117.16110}
+	q := geo.Point{Lat: 32.71571, Lon: -117.16111}
+	if FromLatLon(p, 9) != FromLatLon(q, 9) {
+		t.Fatal("1 m apart points landed in different res-9 cells")
+	}
+}
+
+func TestDistantPointsDifferentCells(t *testing.T) {
+	p := geo.Point{Lat: 32.7157, Lon: -117.1611}
+	q := geo.Point{Lat: 32.7257, Lon: -117.1611} // ~1.1 km north
+	if FromLatLon(p, 12) == FromLatLon(q, 12) {
+		t.Fatal("1 km apart points landed in same res-12 cell")
+	}
+}

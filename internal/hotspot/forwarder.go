@@ -1,0 +1,245 @@
+package hotspot
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Forwarder is the gateway half of a hotspot: it pushes received
+// radio packets to its (co-resident) miner over UDP and maintains the
+// PULL_DATA keepalive that lets the miner send downlinks back. This is
+// a working implementation of the Semtech protocol over real sockets;
+// the fire-and-forget, no-retry behaviour the paper highlights is
+// inherent — a lost datagram is simply gone.
+type Forwarder struct {
+	Gateway [8]byte
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	token  uint16
+	closed bool
+
+	// Downlinks delivers PULL_RESP instructions from the miner.
+	Downlinks chan TXPK
+	// Acks signals PUSH_ACK tokens, so tests can observe delivery.
+	Acks chan uint16
+
+	wg sync.WaitGroup
+}
+
+// NewForwarder connects to the miner's UDP address.
+func NewForwarder(gateway [8]byte, minerAddr string) (*Forwarder, error) {
+	raddr, err := net.ResolveUDPAddr("udp", minerAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	f := &Forwarder{
+		Gateway:   gateway,
+		conn:      conn,
+		Downlinks: make(chan TXPK, 64),
+		Acks:      make(chan uint16, 64),
+	}
+	f.wg.Add(1)
+	go f.readLoop()
+	return f, nil
+}
+
+func (f *Forwarder) nextToken() uint16 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.token++
+	return f.token
+}
+
+func (f *Forwarder) readLoop() {
+	defer f.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, err := f.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		d, err := ParseDatagram(buf[:n])
+		if err != nil {
+			continue // tolerate garbage, as the real forwarder does
+		}
+		switch d.Kind {
+		case PushAck, PullAck:
+			select {
+			case f.Acks <- d.Token:
+			default:
+			}
+		case PullResp:
+			// Acknowledge and deliver.
+			ack := Datagram{Kind: TxAck, Token: d.Token, Gateway: f.Gateway}
+			if raw, err := ack.Marshal(); err == nil {
+				f.conn.Write(raw)
+			}
+			if d.TXPK != nil {
+				select {
+				case f.Downlinks <- *d.TXPK:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Push sends received radio packets to the miner (PUSH_DATA). There is
+// no retry: delivery is best-effort by design.
+func (f *Forwarder) Push(rxpks ...RXPK) error {
+	d := Datagram{Kind: PushData, Token: f.nextToken(), Gateway: f.Gateway, RXPKs: rxpks}
+	raw, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = f.conn.Write(raw)
+	return err
+}
+
+// Pull sends the PULL_DATA keepalive that opens the downlink path.
+func (f *Forwarder) Pull() error {
+	d := Datagram{Kind: PullData, Token: f.nextToken(), Gateway: f.Gateway}
+	raw, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = f.conn.Write(raw)
+	return err
+}
+
+// Close shuts the forwarder down.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.conn.Close()
+	f.wg.Wait()
+}
+
+// GatewayServer is the miner's UDP endpoint for its forwarder. It
+// acknowledges PUSH/PULL, surfaces uplinks, and can send PULL_RESP
+// downlinks to the last-seen forwarder address.
+type GatewayServer struct {
+	mu       sync.Mutex
+	conn     *net.UDPConn
+	lastAddr *net.UDPAddr
+	closed   bool
+
+	// Uplinks delivers received RXPKs with their gateway EUI.
+	Uplinks chan Uplink
+
+	wg sync.WaitGroup
+}
+
+// Uplink is one received radio packet with provenance.
+type Uplink struct {
+	Gateway [8]byte
+	RXPK    RXPK
+}
+
+// NewGatewayServer binds the miner's UDP socket ("127.0.0.1:0" in
+// tests) and returns the server and its bound address.
+func NewGatewayServer(bind string) (*GatewayServer, string, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, "", err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, "", err
+	}
+	g := &GatewayServer{conn: conn, Uplinks: make(chan Uplink, 256)}
+	g.wg.Add(1)
+	go g.serve()
+	return g, conn.LocalAddr().String(), nil
+}
+
+func (g *GatewayServer) serve() {
+	defer g.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		d, err := ParseDatagram(buf[:n])
+		if err != nil {
+			continue
+		}
+		g.mu.Lock()
+		g.lastAddr = addr
+		g.mu.Unlock()
+		switch d.Kind {
+		case PushData:
+			ack := Datagram{Kind: PushAck, Token: d.Token}
+			if raw, err := ack.Marshal(); err == nil {
+				g.conn.WriteToUDP(raw, addr)
+			}
+			for _, r := range d.RXPKs {
+				select {
+				case g.Uplinks <- Uplink{Gateway: d.Gateway, RXPK: r}:
+				default: // drop on overflow, like the real thing
+				}
+			}
+		case PullData:
+			ack := Datagram{Kind: PullAck, Token: d.Token}
+			if raw, err := ack.Marshal(); err == nil {
+				g.conn.WriteToUDP(raw, addr)
+			}
+		}
+	}
+}
+
+// SendDownlink issues a PULL_RESP to the forwarder. It fails if no
+// forwarder has contacted the server yet (no PULL_DATA keepalive —
+// exactly how real downlinks get lost behind silent NAT bindings).
+func (g *GatewayServer) SendDownlink(t TXPK) error {
+	g.mu.Lock()
+	addr := g.lastAddr
+	g.mu.Unlock()
+	if addr == nil {
+		return net.ErrClosed
+	}
+	d := Datagram{Kind: PullResp, Token: 0, TXPK: &t}
+	raw, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = g.conn.WriteToUDP(raw, addr)
+	return err
+}
+
+// Close shuts the server down and closes the Uplinks channel, so a
+// `for range server.Uplinks` consumer loop terminates.
+func (g *GatewayServer) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.conn.Close()
+	g.wg.Wait() // serve goroutine has exited; no more sends
+	close(g.Uplinks)
+}
+
+// WaitAck waits for an ack token with a timeout, for tests.
+func WaitAck(ch <-chan uint16, timeout time.Duration) (uint16, bool) {
+	select {
+	case tok := <-ch:
+		return tok, true
+	case <-time.After(timeout):
+		return 0, false
+	}
+}

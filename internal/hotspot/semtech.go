@@ -1,0 +1,154 @@
+// Package hotspot implements the two halves of a Helium hotspot
+// (§2.2): the Semtech UDP packet forwarder — the real PROTOCOL.TXT
+// wire format whose "purposefully very basic … no retries" design the
+// paper quotes as the reason forwarder and miner are co-located — and
+// the miner, which bridges received LoRa frames to routers through the
+// state-channel offer/purchase protocol and schedules downlinks into
+// the class-A receive windows.
+package hotspot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Semtech packet forwarder protocol identifiers (PROTOCOL.TXT).
+const (
+	ProtocolVersion = 2
+
+	PushData byte = 0x00
+	PushAck  byte = 0x01
+	PullData byte = 0x02
+	PullResp byte = 0x03
+	PullAck  byte = 0x04
+	TxAck    byte = 0x05
+)
+
+// RXPK is one received radio packet, as carried in PUSH_DATA JSON.
+// Field names follow the Semtech spec.
+type RXPK struct {
+	Time string  `json:"time,omitempty"` // ISO 8601 receive time
+	Tmst uint32  `json:"tmst"`           // gateway internal timestamp, µs
+	Freq float64 `json:"freq"`           // MHz
+	Chan int     `json:"chan"`
+	RFCh int     `json:"rfch"`
+	Stat int     `json:"stat"` // CRC status: 1 OK
+	Modu string  `json:"modu"` // "LORA"
+	Datr string  `json:"datr"` // e.g. "SF9BW125"
+	Codr string  `json:"codr"` // "4/5"
+	RSSI float64 `json:"rssi"` // dBm
+	LSNR float64 `json:"lsnr"` // dB
+	Size int     `json:"size"`
+	Data []byte  `json:"data"` // PHY payload (base64 in real JSON; Go handles it)
+}
+
+// TXPK is one downlink instruction, as carried in PULL_RESP JSON.
+type TXPK struct {
+	Imme bool    `json:"imme"` // send immediately
+	Tmst uint32  `json:"tmst"` // else at this gateway timestamp, µs
+	Freq float64 `json:"freq"`
+	RFCh int     `json:"rfch"`
+	Powe int     `json:"powe"` // dBm
+	Modu string  `json:"modu"`
+	Datr string  `json:"datr"`
+	Codr string  `json:"codr"`
+	Size int     `json:"size"`
+	Data []byte  `json:"data"`
+}
+
+// Datagram is one parsed forwarder protocol message.
+type Datagram struct {
+	Version byte
+	Token   uint16
+	Kind    byte
+	Gateway [8]byte // present on PUSH_DATA / PULL_DATA / TX_ACK
+	RXPKs   []RXPK  // PUSH_DATA payload
+	TXPK    *TXPK   // PULL_RESP payload
+}
+
+type pushPayload struct {
+	RXPK []RXPK `json:"rxpk"`
+}
+
+type pullPayload struct {
+	TXPK TXPK `json:"txpk"`
+}
+
+// Marshal serializes the datagram to its UDP wire form.
+func (d *Datagram) Marshal() ([]byte, error) {
+	head := []byte{ProtocolVersion, 0, 0, d.Kind}
+	binary.BigEndian.PutUint16(head[1:3], d.Token)
+	switch d.Kind {
+	case PushData:
+		body, err := json.Marshal(pushPayload{RXPK: d.RXPKs})
+		if err != nil {
+			return nil, err
+		}
+		return append(append(head, d.Gateway[:]...), body...), nil
+	case PullData, TxAck:
+		return append(head, d.Gateway[:]...), nil
+	case PushAck, PullAck:
+		return head, nil
+	case PullResp:
+		if d.TXPK == nil {
+			return nil, fmt.Errorf("hotspot: PULL_RESP without txpk")
+		}
+		body, err := json.Marshal(pullPayload{TXPK: *d.TXPK})
+		if err != nil {
+			return nil, err
+		}
+		return append(head, body...), nil
+	default:
+		return nil, fmt.Errorf("hotspot: unknown datagram kind %#x", d.Kind)
+	}
+}
+
+// ParseDatagram decodes a UDP payload.
+func ParseDatagram(raw []byte) (*Datagram, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("hotspot: datagram too short (%d bytes)", len(raw))
+	}
+	d := &Datagram{
+		Version: raw[0],
+		Token:   binary.BigEndian.Uint16(raw[1:3]),
+		Kind:    raw[3],
+	}
+	if d.Version != ProtocolVersion {
+		return nil, fmt.Errorf("hotspot: protocol version %d, want %d", d.Version, ProtocolVersion)
+	}
+	rest := raw[4:]
+	switch d.Kind {
+	case PushData:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("hotspot: PUSH_DATA missing gateway EUI")
+		}
+		copy(d.Gateway[:], rest[:8])
+		var p pushPayload
+		if err := json.Unmarshal(rest[8:], &p); err != nil {
+			return nil, fmt.Errorf("hotspot: PUSH_DATA payload: %w", err)
+		}
+		d.RXPKs = p.RXPK
+	case PullData, TxAck:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("hotspot: %#x missing gateway EUI", d.Kind)
+		}
+		copy(d.Gateway[:], rest[:8])
+	case PushAck, PullAck:
+		// header only
+	case PullResp:
+		var p pullPayload
+		if err := json.Unmarshal(rest, &p); err != nil {
+			return nil, fmt.Errorf("hotspot: PULL_RESP payload: %w", err)
+		}
+		d.TXPK = &p.TXPK
+	default:
+		return nil, fmt.Errorf("hotspot: unknown datagram kind %#x", d.Kind)
+	}
+	return d, nil
+}
+
+// DatrString renders a LoRa data-rate descriptor ("SF9BW125").
+func DatrString(sf int, bwKHz int) string {
+	return fmt.Sprintf("SF%dBW%d", sf, bwKHz)
+}

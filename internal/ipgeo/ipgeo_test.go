@@ -1,0 +1,213 @@
+package ipgeo
+
+import (
+	"net/netip"
+	"testing"
+
+	"peoplesnet/internal/stats"
+)
+
+func newReg(seed uint64) (*Registry, *stats.RNG) {
+	rng := stats.NewRNG(seed)
+	return NewRegistry(rng, 440), rng
+}
+
+func TestRegistrySize(t *testing.T) {
+	r, _ := newReg(1)
+	// 17 major + 440 tail ≈ the paper's 454 ASNs (Fig 9).
+	if got := len(r.ISPs()); got != 457 {
+		t.Fatalf("registry has %d ISPs", got)
+	}
+	seen := make(map[uint32]bool)
+	for _, isp := range r.ISPs() {
+		if seen[isp.ASN] {
+			t.Fatalf("duplicate ASN %d", isp.ASN)
+		}
+		seen[isp.ASN] = true
+	}
+}
+
+func TestByASNAndLookupIP(t *testing.T) {
+	r, rng := newReg(2)
+	spectrum := r.ISPs()[0]
+	if spectrum.Name != "Spectrum" {
+		t.Fatalf("first ISP = %s", spectrum.Name)
+	}
+	got, ok := r.ByASN(spectrum.ASN)
+	if !ok || got.Name != "Spectrum" {
+		t.Fatal("ByASN failed")
+	}
+	if _, ok := r.ByASN(999999); ok {
+		t.Fatal("unknown ASN resolved")
+	}
+	// Allocate an IP and resolve it back (the zannotate step).
+	att := r.Attach(Market{City: "x", ISPs: []*ISP{spectrum}}, rng)
+	for att.NATed { // retry until we land a public line
+		att = r.Attach(Market{City: "x", ISPs: []*ISP{spectrum}}, rng)
+	}
+	if asn := r.LookupIP(att.PublicIP); asn != spectrum.ASN {
+		t.Fatalf("LookupIP(%v) = %d, want %d", att.PublicIP, asn, spectrum.ASN)
+	}
+	if r.LookupIP(netip.MustParseAddr("8.8.8.8")) != 0 {
+		t.Fatal("foreign IP resolved to an ASN")
+	}
+}
+
+func TestAttachDistributions(t *testing.T) {
+	r, rng := newReg(3)
+	m := Market{City: "bigcity", ISPs: r.ISPs()[:3]} // Spectrum, Comcast, Verizon
+	var atts []Attachment
+	nated := 0
+	for i := 0; i < 5000; i++ {
+		a := r.Attach(m, rng)
+		atts = append(atts, a)
+		if a.NATed {
+			nated++
+			if a.PublicIP.IsValid() {
+				t.Fatal("NAT'd attachment has a public IP")
+			}
+		} else {
+			if !a.PublicIP.IsValid() {
+				t.Fatal("public attachment missing IP")
+			}
+			if a.Port != HotspotPort {
+				t.Fatalf("port = %d", a.Port)
+			}
+		}
+	}
+	// NAT fraction should be near the share-weighted mean (~0.58).
+	frac := float64(nated) / 5000
+	if frac < 0.5 || frac > 0.68 {
+		t.Fatalf("NAT fraction = %v", frac)
+	}
+	top := TopISPs(atts, 3)
+	if len(top) != 3 || top[0].Name != "Spectrum" || top[1].Name != "Comcast" || top[2].Name != "Verizon" {
+		t.Fatalf("top ISPs = %+v", top)
+	}
+}
+
+func TestAttachEmptyMarket(t *testing.T) {
+	r, rng := newReg(4)
+	a := r.Attach(Market{}, rng)
+	if !a.NATed || a.ISP != nil {
+		t.Fatalf("empty market attachment = %+v", a)
+	}
+}
+
+func TestAttachCloud(t *testing.T) {
+	r, rng := newReg(5)
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		a := r.AttachCloud(rng)
+		if a.NATed || !a.PublicIP.IsValid() {
+			t.Fatal("cloud attachment should be public")
+		}
+		counts[a.ISP.Name]++
+	}
+	if counts["DigitalOcean"] == 0 || counts["Amazon"] == 0 {
+		t.Fatalf("cloud mix = %v", counts)
+	}
+	if counts["DigitalOcean"] < counts["Amazon"] {
+		t.Fatalf("DigitalOcean (%d) should dominate Amazon (%d) per the paper", counts["DigitalOcean"], counts["Amazon"])
+	}
+}
+
+func TestBuildMarketSizes(t *testing.T) {
+	r, rng := newReg(6)
+	small := r.BuildMarket("village", "US", 20_000, rng)
+	if len(small.ISPs) != 1 {
+		t.Fatalf("small city market = %d ISPs", len(small.ISPs))
+	}
+	big := r.BuildMarket("metropolis", "US", 5_000_000, rng)
+	if len(big.ISPs) < 3 {
+		t.Fatalf("big city market = %d ISPs", len(big.ISPs))
+	}
+	// No cloud providers in residential markets.
+	for _, isp := range big.ISPs {
+		if isp.Kind == Cloud {
+			t.Fatal("cloud ISP in a city market")
+		}
+	}
+	// Unknown country falls back to the global pool.
+	exotic := r.BuildMarket("somewhere", "ZZ", 50_000, rng)
+	if len(exotic.ISPs) == 0 {
+		t.Fatal("no fallback providers")
+	}
+}
+
+func TestMarketsDiffer(t *testing.T) {
+	r, rng := newReg(7)
+	singles := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		pop := 10_000
+		if i%5 == 0 {
+			pop = 1_000_000
+		}
+		m := r.BuildMarket("city", "US", pop, rng)
+		if len(m.ISPs) == 1 {
+			singles++
+		}
+	}
+	// Around §6.1's 40% single-ASN cities: our mix of small cities
+	// should give a large single-provider fraction.
+	if singles < n/4 {
+		t.Fatalf("only %d/%d single-provider cities", singles, n)
+	}
+}
+
+func TestOutage(t *testing.T) {
+	r, _ := newReg(8)
+	if r.IsDown("Spectrum", "Los Angeles") {
+		t.Fatal("outage before SetOutage")
+	}
+	r.SetOutage("Spectrum", "Los Angeles", true)
+	if !r.IsDown("Spectrum", "Los Angeles") {
+		t.Fatal("outage not recorded")
+	}
+	if r.IsDown("Spectrum", "San Diego") || r.IsDown("Comcast", "Los Angeles") {
+		t.Fatal("outage leaked to other keys")
+	}
+	r.SetOutage("Spectrum", "Los Angeles", false)
+	if r.IsDown("Spectrum", "Los Angeles") {
+		t.Fatal("outage not cleared")
+	}
+}
+
+func TestASNDistribution(t *testing.T) {
+	r, rng := newReg(9)
+	market := Market{City: "c", ISPs: r.ISPs()[:5]}
+	var atts []Attachment
+	for i := 0; i < 3000; i++ {
+		atts = append(atts, r.Attach(market, rng))
+	}
+	dist := ASNDistribution(atts)
+	if len(dist) == 0 || len(dist) > 5 {
+		t.Fatalf("distribution over %d ASNs", len(dist))
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i].Hotspots > dist[i-1].Hotspots {
+			t.Fatal("distribution not sorted descending")
+		}
+	}
+	// NAT'd attachments are excluded (they have no public IP to map).
+	total := 0
+	for _, d := range dist {
+		total += d.Hotspots
+	}
+	public := 0
+	for _, a := range atts {
+		if !a.NATed {
+			public++
+		}
+	}
+	if total != public {
+		t.Fatalf("distribution total %d != public %d", total, public)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Cable.String() != "cable" || Cloud.String() != "cloud" || Kind(42).String() != "kind_42" {
+		t.Fatal("Kind strings wrong")
+	}
+}

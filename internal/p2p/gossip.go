@@ -1,0 +1,120 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"peoplesnet/internal/geo"
+)
+
+// Peerbook gossip: the anti-entropy exchange that keeps every miner's
+// view of the swarm converging (the DeWi database the paper scrapes is
+// one such convergent view). A node pushes a batch of its peerbook
+// rows to a peer; the receiver merges anything it hasn't seen.
+//
+// Wire form: a GOSSIP envelope whose payload is a JSON array of
+// gossipEntry rows (multiaddrs as strings, exactly the formats §6.2
+// parses).
+
+type gossipEntry struct {
+	Peer string  `json:"peer"`
+	Addr string  `json:"addr"`
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+}
+
+// AttachPeerbook gives the node a peerbook to serve and merge gossip
+// into. Must be called before gossip use.
+func (n *Node) AttachPeerbook(pb *Peerbook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pb = pb
+}
+
+// GossipTo pushes up to batch entries of this node's peerbook to the
+// peer listening at addr.
+func (n *Node) GossipTo(addr string, batch int) error {
+	n.mu.Lock()
+	pb := n.pb
+	n.mu.Unlock()
+	if pb == nil {
+		return fmt.Errorf("p2p: no peerbook attached")
+	}
+	entries := pb.Entries()
+	if batch > 0 && len(entries) > batch {
+		entries = entries[:batch]
+	}
+	wire := make([]gossipEntry, 0, len(entries))
+	for _, e := range entries {
+		wire = append(wire, gossipEntry{
+			Peer: string(e.Peer),
+			Addr: e.Addr.String(),
+			Lat:  e.Location.Lat,
+			Lon:  e.Location.Lon,
+		})
+	}
+	payload, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writeEnvelope(conn, envelope{Kind: "HELLO", From: n.ID}); err != nil {
+		return err
+	}
+	return writeEnvelope(conn, envelope{Kind: "GOSSIP", From: n.ID, Payload: payload})
+}
+
+// mergeGossip folds received rows into the node's peerbook. Unknown
+// peers are added; known peers keep their existing entry (first-seen
+// wins, which is enough for anti-entropy convergence in tests).
+func (n *Node) mergeGossip(payload []byte) {
+	n.mu.Lock()
+	pb := n.pb
+	n.mu.Unlock()
+	if pb == nil {
+		return
+	}
+	var rows []gossipEntry
+	if err := json.Unmarshal(payload, &rows); err != nil {
+		return
+	}
+	for _, r := range rows {
+		if r.Peer == "" {
+			continue
+		}
+		if _, known := pb.Get(PeerID(r.Peer)); known {
+			continue
+		}
+		addr, err := ParseListenAddr(r.Addr)
+		if err != nil {
+			continue
+		}
+		pb.Put(Entry{
+			Peer:     PeerID(r.Peer),
+			Addr:     addr,
+			Location: geo.Point{Lat: r.Lat, Lon: r.Lon},
+		})
+	}
+}
+
+// WaitPeerbookSize polls until the node's peerbook reaches size n or
+// the timeout passes, for tests.
+func (node *Node) WaitPeerbookSize(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		node.mu.Lock()
+		pb := node.pb
+		node.mu.Unlock()
+		if pb != nil && pb.Len() >= n {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package p2p
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"peoplesnet/internal/geo"
+)
+
+func entryFor(i int) Entry {
+	id := PeerIDFrom("gossip-peer-" + string(rune('a'+i)))
+	return Entry{
+		Peer:     id,
+		Addr:     ListenAddr{IP: netip.AddrFrom4([4]byte{84, 0, byte(i), 1}), Port: 44158},
+		Location: geo.Point{Lat: 30 + float64(i), Lon: -100 - float64(i)},
+	}
+}
+
+func TestGossipMergesUnknownPeers(t *testing.T) {
+	a := NewNode("13a")
+	b := NewNode("13b")
+	defer a.Close()
+	defer b.Close()
+
+	pbA := NewPeerbook()
+	for i := 0; i < 8; i++ {
+		pbA.Put(entryFor(i))
+	}
+	a.AttachPeerbook(pbA)
+
+	pbB := NewPeerbook()
+	pbB.Put(entryFor(0)) // one overlap
+	b.AttachPeerbook(pbB)
+
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GossipTo(addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.WaitPeerbookSize(8, 3*time.Second) {
+		t.Fatalf("peerbook only reached %d entries", pbB.Len())
+	}
+	// Locations survived the wire format.
+	got, ok := pbB.Get(entryFor(3).Peer)
+	if !ok || got.Location.Lat != 33 {
+		t.Fatalf("merged entry = %+v", got)
+	}
+}
+
+func TestGossipFirstSeenWins(t *testing.T) {
+	a := NewNode("13a")
+	b := NewNode("13b")
+	defer a.Close()
+	defer b.Close()
+
+	pbA := NewPeerbook()
+	e := entryFor(1)
+	e.Location = geo.Point{Lat: 99, Lon: 99} // conflicting claim
+	pbA.Put(e)
+	a.AttachPeerbook(pbA)
+
+	pbB := NewPeerbook()
+	pbB.Put(entryFor(1)) // existing view
+	b.AttachPeerbook(pbB)
+
+	addr, _ := b.Listen("127.0.0.1:0")
+	if err := a.GossipTo(addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	got, _ := pbB.Get(entryFor(1).Peer)
+	if got.Location.Lat != 31 {
+		t.Fatalf("existing entry overwritten: %+v", got)
+	}
+}
+
+func TestGossipChainConvergence(t *testing.T) {
+	// a knows everything; gossip a→b, then b→c: c converges without
+	// ever talking to a.
+	nodes := make([]*Node, 3)
+	books := make([]*Peerbook, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = NewNode(PeerID(string(rune('x' + i))))
+		defer nodes[i].Close()
+		books[i] = NewPeerbook()
+		nodes[i].AttachPeerbook(books[i])
+		var err error
+		addrs[i], err = nodes[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		books[0].Put(entryFor(i))
+	}
+	if err := nodes[0].GossipTo(addrs[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !nodes[1].WaitPeerbookSize(10, 3*time.Second) {
+		t.Fatal("b did not converge")
+	}
+	if err := nodes[1].GossipTo(addrs[2], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !nodes[2].WaitPeerbookSize(10, 3*time.Second) {
+		t.Fatal("c did not converge")
+	}
+}
+
+func TestGossipWithoutPeerbook(t *testing.T) {
+	a := NewNode("13a")
+	defer a.Close()
+	if err := a.GossipTo("127.0.0.1:1", 0); err == nil {
+		t.Fatal("gossip without peerbook succeeded")
+	}
+	// Receiving gossip without a peerbook must not panic.
+	b := NewNode("13b")
+	defer b.Close()
+	addr, _ := b.Listen("127.0.0.1:0")
+	src := NewNode("13src")
+	defer src.Close()
+	src.AttachPeerbook(NewPeerbook())
+	if err := src.GossipTo(addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestGossipBatchLimit(t *testing.T) {
+	a := NewNode("13a")
+	b := NewNode("13b")
+	defer a.Close()
+	defer b.Close()
+	pbA := NewPeerbook()
+	for i := 0; i < 10; i++ {
+		pbA.Put(entryFor(i))
+	}
+	a.AttachPeerbook(pbA)
+	pbB := NewPeerbook()
+	b.AttachPeerbook(pbB)
+	addr, _ := b.Listen("127.0.0.1:0")
+	if err := a.GossipTo(addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !b.WaitPeerbookSize(4, 3*time.Second) {
+		t.Fatal("batch not delivered")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if pbB.Len() != 4 {
+		t.Fatalf("batch limit ignored: %d entries", pbB.Len())
+	}
+}

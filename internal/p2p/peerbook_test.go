@@ -1,0 +1,202 @@
+package p2p
+
+import (
+	"net/netip"
+	"testing"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
+)
+
+func TestPeerIDDeterministic(t *testing.T) {
+	if PeerIDFrom("addr1") != PeerIDFrom("addr1") {
+		t.Fatal("peer id not deterministic")
+	}
+	if PeerIDFrom("addr1") == PeerIDFrom("addr2") {
+		t.Fatal("peer id collision")
+	}
+}
+
+func TestListenAddrRoundTrip(t *testing.T) {
+	direct := ListenAddr{IP: netip.MustParseAddr("84.0.1.2"), Port: 44158}
+	if direct.Relayed() {
+		t.Fatal("direct addr marked relayed")
+	}
+	s := direct.String()
+	if s != "/ip4/84.0.1.2/tcp/44158" {
+		t.Fatalf("direct string = %q", s)
+	}
+	back, err := ParseListenAddr(s)
+	if err != nil || back != direct {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+
+	relay := ListenAddr{Relay: "13aa", Peer: "13bb"}
+	if !relay.Relayed() {
+		t.Fatal("relay addr not marked relayed")
+	}
+	rs := relay.String()
+	if rs != "/p2p/13aa/p2p-circuit/p2p/13bb" {
+		t.Fatalf("relay string = %q", rs)
+	}
+	back2, err := ParseListenAddr(rs)
+	if err != nil || back2 != relay {
+		t.Fatalf("relay round trip = %+v, %v", back2, err)
+	}
+}
+
+func TestParseListenAddrErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/ip4/999.1.1.1/tcp/44158",
+		"/ip4/84.0.0.1/tcp/zero",
+		"/ip4/84.0.0.1/tcp/0",
+		"/ip4/84.0.0.1/udp/44158",
+		"/p2p//p2p-circuit/p2p/13bb",
+		"/p2p/13aa/p2p-circuit/p2p/",
+		"/p2p/13aa/circuit/p2p/13bb",
+		"/dns4/example.com/tcp/1",
+	}
+	for _, s := range bad {
+		if _, err := ParseListenAddr(s); err == nil {
+			t.Fatalf("parsed invalid multiaddr %q", s)
+		}
+	}
+}
+
+func TestPeerbookBasics(t *testing.T) {
+	pb := NewPeerbook()
+	e := Entry{Peer: "13x", Addr: ListenAddr{IP: netip.MustParseAddr("84.0.0.1"), Port: 44158}}
+	pb.Put(e)
+	if pb.Len() != 1 {
+		t.Fatal("len wrong")
+	}
+	got, ok := pb.Get("13x")
+	if !ok || got.Peer != "13x" {
+		t.Fatal("get failed")
+	}
+	if _, ok := pb.Get("nope"); ok {
+		t.Fatal("missing peer found")
+	}
+	// Replacement, not duplication.
+	pb.Put(e)
+	if pb.Len() != 1 {
+		t.Fatal("put duplicated")
+	}
+}
+
+// buildSwarm creates publicN public peers scattered over CONUS-ish
+// coordinates and relayedN NAT'd peers assigned via sel.
+func buildSwarm(publicN, relayedN int, sel RelaySelector, rng *stats.RNG) *Peerbook {
+	pb := NewPeerbook()
+	var public []Entry
+	for i := 0; i < publicN; i++ {
+		e := Entry{
+			Peer: PeerIDFrom(string(rune('A'+i%26)) + string(rune(i))),
+			Addr: ListenAddr{IP: netip.AddrFrom4([4]byte{84, byte(i >> 8), byte(i), 1}), Port: 44158},
+			Location: geo.Point{
+				Lat: 30 + rng.Float64()*15,
+				Lon: -120 + rng.Float64()*45,
+			},
+		}
+		public = append(public, e)
+		pb.Put(e)
+	}
+	for i := 0; i < relayedN; i++ {
+		loc := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -120 + rng.Float64()*45}
+		id := PeerIDFrom("nat" + string(rune(i)) + string(rune(i>>8)))
+		relay, ok := sel.Select(loc, public, rng)
+		if !ok {
+			continue
+		}
+		pb.Put(Entry{
+			Peer:     id,
+			Addr:     ListenAddr{Relay: relay, Peer: id},
+			Location: loc,
+		})
+	}
+	return pb
+}
+
+func TestAnalyzeRelays(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pb := buildSwarm(200, 250, RandomRelay{}, rng)
+	st := AnalyzeRelays(pb)
+	if st.Total != 450 {
+		t.Fatalf("total = %d", st.Total)
+	}
+	if st.Relayed != 250 {
+		t.Fatalf("relayed = %d", st.Relayed)
+	}
+	frac := st.RelayedFraction()
+	if frac < 0.55 || frac > 0.56 {
+		t.Fatalf("relayed fraction = %v", frac)
+	}
+	if st.DistancesKm.N() == 0 {
+		t.Fatal("no distances recorded")
+	}
+	if st.FanOut.Total() == 0 || st.MaxFanOut < 1 {
+		t.Fatal("fan-out empty")
+	}
+}
+
+func TestRandomVsNearestDistances(t *testing.T) {
+	rng := stats.NewRNG(2)
+	random := AnalyzeRelays(buildSwarm(300, 300, RandomRelay{}, rng))
+	nearest := AnalyzeRelays(buildSwarm(300, 300, NearestRelay{K: 1}, rng))
+	if nearest.DistancesKm.Median() >= random.DistancesKm.Median() {
+		t.Fatalf("nearest median %v should beat random median %v",
+			nearest.DistancesKm.Median(), random.DistancesKm.Median())
+	}
+	// Nearest-1 should be drastically shorter.
+	if nearest.DistancesKm.Median() > random.DistancesKm.Median()/3 {
+		t.Fatalf("nearest not dramatically shorter: %v vs %v",
+			nearest.DistancesKm.Median(), random.DistancesKm.Median())
+	}
+}
+
+func TestRandomizedAssignmentMatchesRandomPolicy(t *testing.T) {
+	// Fig 11's argument: when the actual policy is random, the
+	// observed distance CDF is statistically indistinguishable from
+	// random reassignments (small KS statistic).
+	rng := stats.NewRNG(3)
+	pb := buildSwarm(300, 500, RandomRelay{}, rng)
+	actual := AnalyzeRelays(pb).DistancesKm
+	sim := RandomizedAssignment(pb, rng)
+	if d := actual.KolmogorovSmirnov(sim); d > 0.1 {
+		t.Fatalf("KS between actual-random and simulated-random = %v", d)
+	}
+	// And when the actual policy is nearest, the KS must be large.
+	pbN := buildSwarm(300, 500, NearestRelay{K: 1}, rng)
+	actualN := AnalyzeRelays(pbN).DistancesKm
+	simN := RandomizedAssignment(pbN, rng)
+	if d := actualN.KolmogorovSmirnov(simN); d < 0.3 {
+		t.Fatalf("KS between nearest and random = %v, want large", d)
+	}
+}
+
+func TestSelectorEdgeCases(t *testing.T) {
+	rng := stats.NewRNG(4)
+	if _, ok := (RandomRelay{}).Select(geo.Point{}, nil, rng); ok {
+		t.Fatal("random selector returned relay with no candidates")
+	}
+	if _, ok := (NearestRelay{K: 3}).Select(geo.Point{}, nil, rng); ok {
+		t.Fatal("nearest selector returned relay with no candidates")
+	}
+	one := []Entry{{Peer: "13only"}}
+	if got, ok := (NearestRelay{K: 10}).Select(geo.Point{}, one, rng); !ok || got != "13only" {
+		t.Fatal("nearest selector with k > candidates failed")
+	}
+	if got, ok := (NearestRelay{K: 0}).Select(geo.Point{}, one, rng); !ok || got != "13only" {
+		t.Fatal("nearest selector with k=0 should clamp to 1")
+	}
+}
+
+func TestRandomizedAssignmentNoPublic(t *testing.T) {
+	pb := NewPeerbook()
+	pb.Put(Entry{Peer: "13a", Addr: ListenAddr{Relay: "13r", Peer: "13a"}})
+	cdf := RandomizedAssignment(pb, stats.NewRNG(5))
+	if cdf.N() != 0 {
+		t.Fatal("assignment with no public peers should be empty")
+	}
+}

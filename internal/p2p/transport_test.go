@@ -1,0 +1,154 @@
+package p2p
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func recvMessage(t *testing.T, n *Node) Message {
+	t.Helper()
+	select {
+	case m := <-n.Inbox():
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return Message{}
+	}
+}
+
+func TestDirectSend(t *testing.T) {
+	a := NewNode("13a")
+	b := NewNode("13b")
+	defer a.Close()
+	defer b.Close()
+
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(addr, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvMessage(t, b)
+	if m.From != "13a" || !bytes.Equal(m.Payload, []byte("hello")) || m.ViaRelay {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestCircuitRelay(t *testing.T) {
+	relay := NewNode("13relay")
+	nated := NewNode("13nat") // never listens: behind NAT
+	sender := NewNode("13sender")
+	defer relay.Close()
+	defer nated.Close()
+	defer sender.Close()
+
+	relayAddr, err := relay.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nated.RegisterWithRelay(relayAddr); err != nil {
+		t.Fatal(err)
+	}
+	// Give the relay a moment to record the registration.
+	deadline := time.Now().Add(2 * time.Second)
+	for relay.RelayedCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if relay.RelayedCount() != 1 {
+		t.Fatalf("relay count = %d", relay.RelayedCount())
+	}
+
+	if err := sender.SendViaRelay(relayAddr, "13nat", []byte("via-circuit")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvMessage(t, nated)
+	if m.From != "13sender" || !bytes.Equal(m.Payload, []byte("via-circuit")) || !m.ViaRelay {
+		t.Fatalf("relayed message = %+v", m)
+	}
+}
+
+func TestRelayRefusesUnknownTarget(t *testing.T) {
+	relay := NewNode("13relay")
+	sender := NewNode("13sender")
+	defer relay.Close()
+	defer sender.Close()
+
+	relayAddr, err := relay.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.SendViaRelay(relayAddr, "13ghost", []byte("x")); err == nil {
+		t.Fatal("circuit to unregistered peer succeeded")
+	}
+}
+
+func TestRelayFanOutMany(t *testing.T) {
+	relay := NewNode("13relay")
+	defer relay.Close()
+	relayAddr, err := relay.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(PeerID(string(rune('a' + i))))
+		defer nodes[i].Close()
+		if err := nodes[i].RegisterWithRelay(relayAddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for relay.RelayedCount() < n && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if relay.RelayedCount() != n {
+		t.Fatalf("fan-out = %d, want %d", relay.RelayedCount(), n)
+	}
+	// Every registered node is reachable through the circuit.
+	sender := NewNode("13sender")
+	defer sender.Close()
+	for i := range nodes {
+		if err := sender.SendViaRelay(relayAddr, nodes[i].ID, []byte{byte(i)}); err != nil {
+			t.Fatalf("send to node %d: %v", i, err)
+		}
+	}
+	for i := range nodes {
+		m := recvMessage(t, nodes[i])
+		if !m.ViaRelay || len(m.Payload) != 1 || m.Payload[0] != byte(i) {
+			t.Fatalf("node %d got %+v", i, m)
+		}
+	}
+}
+
+func TestRelayDeregistrationOnDisconnect(t *testing.T) {
+	relay := NewNode("13relay")
+	defer relay.Close()
+	relayAddr, _ := relay.Listen("127.0.0.1:0")
+
+	nated := NewNode("13nat")
+	if err := nated.RegisterWithRelay(relayAddr); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for relay.RelayedCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	nated.Close()
+	deadline = time.Now().Add(2 * time.Second)
+	for relay.RelayedCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if relay.RelayedCount() != 0 {
+		t.Fatal("relay kept a dead registration")
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	n := NewNode("13x")
+	n.Listen("127.0.0.1:0")
+	n.Close()
+	n.Close() // must not panic or deadlock
+}

@@ -1,0 +1,56 @@
+package radio
+
+// Collision resolution. LoRa's chirp modulation gives strong capture:
+// when two transmissions overlap on the same channel and spreading
+// factor, the stronger one still decodes if it leads by roughly 6 dB
+// (the co-SF rejection threshold); transmissions on different SFs are
+// quasi-orthogonal and survive each other. Dense free-running senders
+// — exactly the §8.1 counter app — collide this way.
+
+// CaptureThresholdDB is the co-channel, co-SF power advantage needed
+// for the stronger frame to survive an overlap.
+const CaptureThresholdDB = 6
+
+// Transmission describes one on-air frame for collision arbitration.
+type Transmission struct {
+	ID      int
+	Channel int
+	SF      SpreadingFactor
+	RSSIdBm float64 // at the receiver doing the arbitration
+	// Start and End bound the frame on air, in seconds.
+	Start, End float64
+}
+
+// overlaps reports whether two transmissions intersect in time.
+func overlaps(a, b Transmission) bool {
+	return a.Start < b.End && b.Start < a.End
+}
+
+// interferes reports whether b can corrupt a: same channel, same SF
+// (different SFs are quasi-orthogonal), overlapping in time.
+func interferes(a, b Transmission) bool {
+	return a.ID != b.ID && a.Channel == b.Channel && a.SF == b.SF && overlaps(a, b)
+}
+
+// Survivors returns the IDs of transmissions that decode despite
+// overlaps, applying the capture rule pairwise: a frame survives if it
+// beats every interferer by CaptureThresholdDB.
+func Survivors(txs []Transmission) []int {
+	var out []int
+	for _, a := range txs {
+		ok := true
+		for _, b := range txs {
+			if !interferes(a, b) {
+				continue
+			}
+			if a.RSSIdBm < b.RSSIdBm+CaptureThresholdDB {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, a.ID)
+		}
+	}
+	return out
+}

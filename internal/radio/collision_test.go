@@ -1,0 +1,90 @@
+package radio
+
+import "testing"
+
+func tx(id, ch int, sf SpreadingFactor, rssi, start, end float64) Transmission {
+	return Transmission{ID: id, Channel: ch, SF: sf, RSSIdBm: rssi, Start: start, End: end}
+}
+
+func survivorSet(txs []Transmission) map[int]bool {
+	out := map[int]bool{}
+	for _, id := range Survivors(txs) {
+		out[id] = true
+	}
+	return out
+}
+
+func TestNoOverlapAllSurvive(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -100, 0, 1),
+		tx(2, 0, SF9, -100, 2, 3),
+	})
+	if !s[1] || !s[2] {
+		t.Fatalf("non-overlapping frames lost: %v", s)
+	}
+}
+
+func TestCaptureStrongWins(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -90, 0, 1), // 10 dB stronger
+		tx(2, 0, SF9, -100, 0, 1),
+	})
+	if !s[1] {
+		t.Fatal("strong frame lost")
+	}
+	if s[2] {
+		t.Fatal("weak frame survived capture")
+	}
+}
+
+func TestMutualDestructionNearEqual(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -100, 0, 1),
+		tx(2, 0, SF9, -101, 0, 1), // within 6 dB: both die
+	})
+	if s[1] || s[2] {
+		t.Fatalf("near-equal colliders should both die: %v", s)
+	}
+}
+
+func TestDifferentChannelsOrthogonal(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -100, 0, 1),
+		tx(2, 1, SF9, -100, 0, 1),
+	})
+	if !s[1] || !s[2] {
+		t.Fatal("different channels should not interfere")
+	}
+}
+
+func TestDifferentSFsQuasiOrthogonal(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF7, -100, 0, 1),
+		tx(2, 0, SF12, -100, 0, 1),
+	})
+	if !s[1] || !s[2] {
+		t.Fatal("different SFs should not interfere")
+	}
+}
+
+func TestPartialOverlapStillCollides(t *testing.T) {
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -100, 0, 1),
+		tx(2, 0, SF9, -100, 0.9, 1.9),
+	})
+	if s[1] || s[2] {
+		t.Fatal("partial overlap at equal power should kill both")
+	}
+}
+
+func TestThreeWayCapture(t *testing.T) {
+	// One dominant frame over two weak overlapping ones.
+	s := survivorSet([]Transmission{
+		tx(1, 0, SF9, -80, 0, 1),
+		tx(2, 0, SF9, -100, 0, 1),
+		tx(3, 0, SF9, -99, 0.5, 1.5),
+	})
+	if !s[1] || s[2] || s[3] {
+		t.Fatalf("three-way capture wrong: %v", s)
+	}
+}

@@ -1,0 +1,191 @@
+// Package simnet generates a complete synthetic Helium world — the
+// substitute for the live network the paper measures. A seeded run
+// produces the full ledger history from the July 29, 2019 genesis
+// through late May 2021: hotspot adoption and growth (§4.2), ownership
+// structure including commercial fleets and mining pools (§4.3), the
+// move and resale dynamics of §4.1/§4.3.3, ISP attachment and the
+// relay swarm of §6, sampled Proof-of-Coverage activity with the §7
+// cheating behaviours, and the data-traffic history of §5 including
+// the August 2020 arbitrage spike.
+//
+// The generator is calibrated so the measurement engine
+// (internal/core) reproduces the shapes — and in most cases the
+// headline numbers — of every figure and table in the paper.
+package simnet
+
+import (
+	"time"
+
+	"peoplesnet/internal/chain"
+)
+
+// Config parameterizes a world. The zero value is unusable; start
+// from DefaultConfig or TestConfig.
+type Config struct {
+	Seed uint64
+
+	// Start and Days bound the simulated timeline. The paper's window
+	// is 2019-07-29 through 2021-05-26 (667 days).
+	Start time.Time
+	Days  int
+
+	// TargetHotspots is the number of connected hotspots at the end of
+	// the timeline (the paper observes ≈44,000 on May 26, 2021).
+	TargetHotspots int
+
+	// Towns is the number of synthetic small cities beyond the major
+	// metros (§6.1 sees 3,958 cities with ≥1 hotspot).
+	Towns int
+
+	// TailASNs sizes the long tail of small ISPs (Fig 9: 454 ASNs).
+	TailASNs int
+
+	// InternationalLaunchDay is the day index when non-US cities begin
+	// accepting hotspots (summer 2020).
+	InternationalLaunchDay int
+
+	// IntlShareEnd is the fraction of daily adds going international
+	// by the end of the timeline (paper: 14k of 34k online outside the
+	// US by May 2021).
+	IntlShareEnd float64
+
+	// OnlineFraction is the share of connected hotspots that stay
+	// online (paper: 34k of 44k).
+	OnlineFraction float64
+
+	// PoCSamplePerDay is how many PoC challenges the generator
+	// materializes per day at the end of the timeline (scaled down
+	// earlier with network size). Each materialized receipt represents
+	// PoCWeight real receipts for transaction-mix accounting.
+	PoCSamplePerDay int
+	// PoCWeight is the notional number of real PoC transactions each
+	// sampled receipt stands for.
+	PoCWeight float64
+
+	// Cheats.
+	SilentMoverFrac float64 // hotspots that move physically but never re-assert
+	RSSIForgerFrac  float64
+	AbsurdRSSIFrac  float64
+	CliqueCount     int // number of gossip cliques
+	CliqueSize      int
+
+	// Traffic model.
+	// PacketsPerSecondEnd is the aggregate user traffic at the end of
+	// the window (paper: ≈14 packets/second, Fig 8).
+	PacketsPerSecondEnd float64
+	// ConsoleShare is the fraction of state-channel activity belonging
+	// to OUI 1+2 (paper: 81.18%).
+	ConsoleShare float64
+	// ThirdPartyOUIs is how many non-Console OUIs register (paper: 10
+	// total, 2 for Helium).
+	ThirdPartyOUIs int
+	// ArbitrageMultiplier scales the Aug 12–Sep 6 2020 spam spike
+	// relative to the organic traffic of that era.
+	ArbitrageMultiplier float64
+
+	// Ownership model.
+	NewOwnerProb     float64 // chance a new hotspot creates a new owner
+	PoolCount        int     // Denver-style mining pools
+	PoolTargetSize   int
+	CommercialFleets []CommercialFleet
+
+	// Resale model.
+	ResaleFrac       float64 // fraction of hotspots ever transferred (8.6%)
+	ResaleStartDay   int     // transfer_hotspot txn introduction (~Dec 2020)
+	ResaleZeroDCProb float64 // 95.8% of transfers move 0 DC
+	ResaleExportProb float64 // transferred hotspot moves abroad
+
+	// Move model (§4.1).
+	NeverMoveFrac float64 // 71.9%
+	ZeroZeroCount int     // total (0,0) assertions (372)
+
+	// Outages injects §6.1-style regional ISP failures: every hotspot
+	// on the named ISP in the named city drops offline for the given
+	// days (the July 2020 Spectrum outage took out ~87% of LA's
+	// hotspots for a few hours; day-granularity here).
+	Outages []OutageEvent
+}
+
+// OutageEvent is one regional ISP failure.
+type OutageEvent struct {
+	Day  int
+	Days int
+	City string
+	ISP  string
+}
+
+// CommercialFleet describes a Careband/nowi-style deployment: a real
+// application with clustered hotspots and steady device traffic.
+type CommercialFleet struct {
+	Name     string
+	City     string
+	Hotspots int
+	Devices  int
+}
+
+// DefaultConfig reproduces the paper's world at full scale.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                   seed,
+		Start:                  chain.DefaultGenesis,
+		Days:                   667,
+		TargetHotspots:         44_000,
+		Towns:                  5_500,
+		TailASNs:               437,
+		InternationalLaunchDay: 340, // ~July 2020
+		// IntlShareEnd is the share of *new-owner* deployments going
+		// international at the end of the window. Existing owners keep
+		// deploying at home (mostly the US), which damps the realized
+		// fraction to the paper's ≈41% online-international share.
+		IntlShareEnd:        0.95,
+		OnlineFraction:      0.78,
+		PoCSamplePerDay:     300,
+		PoCWeight:           600,
+		SilentMoverFrac:     0.004,
+		RSSIForgerFrac:      0.01,
+		AbsurdRSSIFrac:      0.002,
+		CliqueCount:         3,
+		CliqueSize:          5,
+		PacketsPerSecondEnd: 14,
+		ConsoleShare:        0.8118,
+		ThirdPartyOUIs:      8,
+		ArbitrageMultiplier: 30,
+		NewOwnerProb:        0.205,
+		PoolCount:           6,
+		PoolTargetSize:      140,
+		CommercialFleets: []CommercialFleet{
+			{Name: "careband", City: "Chicago", Hotspots: 25, Devices: 120},
+			{Name: "nowi", City: "Stonington", Hotspots: 61, Devices: 200},
+		},
+		ResaleFrac:       0.086,
+		ResaleStartDay:   500, // ~Dec 2020
+		ResaleZeroDCProb: 0.958,
+		ResaleExportProb: 0.35,
+		NeverMoveFrac:    0.719,
+		ZeroZeroCount:    372,
+	}
+}
+
+// TestConfig is a scaled-down world (≈1/20) for tests: same shapes,
+// seconds instead of minutes to generate.
+func TestConfig(seed uint64) Config {
+	c := DefaultConfig(seed)
+	c.TargetHotspots = 2_200
+	c.Towns = 400
+	c.TailASNs = 90
+	c.PoCSamplePerDay = 40
+	c.PoCWeight = 600
+	c.PoolCount = 3
+	c.PoolTargetSize = 40
+	c.ZeroZeroCount = 20
+	// At 1/20 scale the sampled PoC stream visits each hotspot far
+	// less often, so plant proportionally more cheats to keep the §7
+	// audits exercised at any seed.
+	c.SilentMoverFrac = 0.012
+	c.AbsurdRSSIFrac = 0.006
+	c.CommercialFleets = []CommercialFleet{
+		{Name: "careband", City: "Chicago", Hotspots: 12, Devices: 30},
+		{Name: "nowi", City: "Stonington", Hotspots: 15, Devices: 40},
+	}
+	return c
+}

@@ -1,0 +1,128 @@
+package simnet
+
+import (
+	"fmt"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
+)
+
+// City is one population center hotspots can appear in.
+type City struct {
+	Name       string
+	Country    string
+	Center     geo.Point
+	Population int
+	// Env is the dominant radio environment.
+	EnvUrban bool
+}
+
+// majorCities seeds the geography with real metros. US cities carry
+// the early network (launch summer 2019); international cities only
+// accept hotspots after the international launch (summer 2020, §4.2).
+var majorCities = []City{
+	{"New York", "US", geo.Point{Lat: 40.7128, Lon: -74.0060}, 8_400_000, true},
+	{"Los Angeles", "US", geo.Point{Lat: 34.0522, Lon: -118.2437}, 3_900_000, true},
+	{"Chicago", "US", geo.Point{Lat: 41.8781, Lon: -87.6298}, 2_700_000, true},
+	{"Houston", "US", geo.Point{Lat: 29.7604, Lon: -95.3698}, 2_300_000, true},
+	{"Phoenix", "US", geo.Point{Lat: 33.4484, Lon: -112.0740}, 1_600_000, true},
+	{"Philadelphia", "US", geo.Point{Lat: 39.9526, Lon: -75.1652}, 1_600_000, true},
+	{"San Antonio", "US", geo.Point{Lat: 29.4241, Lon: -98.4936}, 1_500_000, true},
+	{"San Diego", "US", geo.Point{Lat: 32.7157, Lon: -117.1611}, 1_400_000, true},
+	{"Dallas", "US", geo.Point{Lat: 32.7767, Lon: -96.7970}, 1_300_000, true},
+	{"San Jose", "US", geo.Point{Lat: 37.3382, Lon: -121.8863}, 1_000_000, true},
+	{"Austin", "US", geo.Point{Lat: 30.2672, Lon: -97.7431}, 960_000, true},
+	{"San Francisco", "US", geo.Point{Lat: 37.7749, Lon: -122.4194}, 880_000, true},
+	{"Seattle", "US", geo.Point{Lat: 47.6062, Lon: -122.3321}, 740_000, true},
+	{"Denver", "US", geo.Point{Lat: 39.7392, Lon: -104.9903}, 710_000, true},
+	{"Boston", "US", geo.Point{Lat: 42.3601, Lon: -71.0589}, 690_000, true},
+	{"Miami", "US", geo.Point{Lat: 25.7617, Lon: -80.1918}, 470_000, true},
+	{"Atlanta", "US", geo.Point{Lat: 33.7490, Lon: -84.3880}, 500_000, true},
+	{"Portland", "US", geo.Point{Lat: 45.5152, Lon: -122.6784}, 650_000, true},
+	{"Minneapolis", "US", geo.Point{Lat: 44.9778, Lon: -93.2650}, 430_000, true},
+	{"Tampa", "US", geo.Point{Lat: 27.9506, Lon: -82.4572}, 400_000, true},
+	{"Mesa", "US", geo.Point{Lat: 33.4152, Lon: -111.8315}, 500_000, false},
+	{"Stonington", "US", geo.Point{Lat: 41.3359, Lon: -71.9062}, 18_000, false},
+	{"London", "UK", geo.Point{Lat: 51.5074, Lon: -0.1278}, 9_000_000, true},
+	{"Birmingham", "UK", geo.Point{Lat: 52.4862, Lon: -1.8904}, 1_100_000, true},
+	{"Berlin", "DE", geo.Point{Lat: 52.5200, Lon: 13.4050}, 3_700_000, true},
+	{"Munich", "DE", geo.Point{Lat: 48.1351, Lon: 11.5820}, 1_500_000, true},
+	{"Paris", "FR", geo.Point{Lat: 48.8566, Lon: 2.3522}, 2_100_000, true},
+	{"Madrid", "ES", geo.Point{Lat: 40.4168, Lon: -3.7038}, 3_200_000, true},
+	{"Palma", "ES", geo.Point{Lat: 39.5696, Lon: 2.6502}, 420_000, false},
+	{"Rome", "IT", geo.Point{Lat: 41.9028, Lon: 12.4964}, 2_800_000, true},
+	{"Milan", "IT", geo.Point{Lat: 45.4642, Lon: 9.1900}, 1_400_000, true},
+	{"Amsterdam", "NL", geo.Point{Lat: 52.3676, Lon: 4.9041}, 870_000, true},
+	{"Toronto", "CA", geo.Point{Lat: 43.6532, Lon: -79.3832}, 2_900_000, true},
+	{"Vancouver", "CA", geo.Point{Lat: 49.2827, Lon: -123.1207}, 680_000, true},
+	{"Sydney", "AU", geo.Point{Lat: -33.8688, Lon: 151.2093}, 5_300_000, true},
+	{"Shenzhen", "CN", geo.Point{Lat: 22.5431, Lon: 114.0579}, 12_500_000, true},
+}
+
+// usTownAnchors spread synthetic small towns across CONUS population
+// regions (rough corridors, avoiding oceans).
+var usTownAnchors = []geo.Point{
+	{Lat: 40.5, Lon: -74.5}, {Lat: 39.0, Lon: -77.2}, {Lat: 35.3, Lon: -80.9},
+	{Lat: 33.6, Lon: -84.5}, {Lat: 28.6, Lon: -81.4}, {Lat: 41.6, Lon: -87.3},
+	{Lat: 39.8, Lon: -86.2}, {Lat: 36.2, Lon: -86.8}, {Lat: 32.9, Lon: -96.8},
+	{Lat: 29.9, Lon: -95.5}, {Lat: 39.6, Lon: -105.0}, {Lat: 33.5, Lon: -112.2},
+	{Lat: 34.1, Lon: -117.8}, {Lat: 37.5, Lon: -121.9}, {Lat: 45.5, Lon: -122.7},
+	{Lat: 47.4, Lon: -122.2}, {Lat: 41.3, Lon: -96.0}, {Lat: 44.9, Lon: -93.3},
+	{Lat: 42.9, Lon: -78.8}, {Lat: 40.4, Lon: -80.0},
+}
+
+var intlTownAnchors = map[string][]geo.Point{
+	"UK": {{Lat: 53.4, Lon: -2.2}, {Lat: 51.45, Lon: -2.58}},
+	"DE": {{Lat: 50.9, Lon: 6.96}, {Lat: 53.55, Lon: 9.99}},
+	"FR": {{Lat: 45.76, Lon: 4.84}, {Lat: 43.3, Lon: 5.37}},
+	"ES": {{Lat: 41.39, Lon: 2.17}, {Lat: 37.39, Lon: -5.98}},
+	"IT": {{Lat: 45.07, Lon: 7.69}, {Lat: 40.85, Lon: 14.27}},
+	"NL": {{Lat: 51.92, Lon: 4.48}},
+	"CA": {{Lat: 45.50, Lon: -73.57}, {Lat: 51.05, Lon: -114.07}},
+	"AU": {{Lat: -37.81, Lon: 144.96}},
+	"CN": {{Lat: 31.23, Lon: 121.47}},
+}
+
+// BuildCities constructs the geography: major metros plus nTowns
+// synthetic small towns scattered near the anchors. The returned
+// slice is ordered US-first so launch gating can slice it.
+func BuildCities(nTowns int, rng *stats.RNG) []City {
+	cities := append([]City(nil), majorCities...)
+	countries := []string{"US", "US", "US", "US", "US", "US", "UK", "DE", "FR", "ES", "IT", "NL", "CA", "AU", "CN"}
+	for i := 0; i < nTowns; i++ {
+		country := countries[rng.Intn(len(countries))]
+		var anchor geo.Point
+		if country == "US" {
+			anchor = usTownAnchors[rng.Intn(len(usTownAnchors))]
+		} else {
+			as := intlTownAnchors[country]
+			anchor = as[rng.Intn(len(as))]
+		}
+		center := geo.Destination(anchor, rng.Float64()*360, 5+rng.Float64()*120)
+		cities = append(cities, City{
+			Name:       fmt.Sprintf("%s-town-%04d", country, i),
+			Country:    country,
+			Center:     center,
+			Population: 2_000 + int(rng.Pareto(3000, 1.2)),
+			EnvUrban:   false,
+		})
+	}
+	return cities
+}
+
+// RadiusKm returns the city's hotspot-placement radius, scaling with
+// population.
+func (c City) RadiusKm() float64 {
+	switch {
+	case c.Population > 3_000_000:
+		return 25
+	case c.Population > 1_000_000:
+		return 16
+	case c.Population > 300_000:
+		return 10
+	case c.Population > 50_000:
+		return 5
+	default:
+		return 2.5
+	}
+}

@@ -1,0 +1,310 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/econ"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/h3lite"
+	"peoplesnet/internal/p2p"
+	"peoplesnet/internal/poc"
+)
+
+// Result is a generated world: the chain every §4–§7 analysis reads,
+// plus the side state the paper obtains from the p2p network and IP
+// measurements (peerbook, ISP attachments, city assignment).
+type Result struct {
+	Cfg      Config
+	Chain    *chain.Chain
+	World    *World
+	Peerbook *p2p.Peerbook
+
+	// MaterializedPoC and NotionalPoC track PoC sampling: each
+	// materialized receipt stands for Cfg.PoCWeight real transactions
+	// when reproducing §3's transaction mix.
+	MaterializedPoC int64
+	NotionalPoC     int64
+
+	// OnlineByDay / ConnectedByDay / USOnlineByDay feed Fig 5.
+	ConnectedByDay []int
+	OnlineByDay    []int
+	USOnlineByDay  []int
+}
+
+// simulator carries the loop state.
+type simulator struct {
+	cfg Config
+	w   *World
+	c   *chain.Chain
+	res *Result
+
+	engine    *poc.Engine
+	fleet     *poc.Fleet
+	fleetDay  int
+	onlineIdx []int // indexes of online hotspots at last fleet build
+
+	consoleWallet string
+	exchange      string
+	thirdOUIs     []ouiState
+
+	// cliques tracks unfilled gossip cliques: city index → clique id.
+	cliqueCity  int
+	cliqueFill  map[int]int
+	megaOwner   *Owner
+	outlier     *HotspotState
+	pools       []*poolState
+	fleetOwners map[string][]*Owner
+
+	scNonce      int64
+	dayTxns      []chain.Txn
+	zeroLeft     int
+	rewardPol    econ.RewardPolicy
+	prices       econ.PriceSeries
+	resaleQueue  []resaleEvent
+	dataHotspots []int // recent data-ferrying hotspot indexes
+
+	// dayActivity accumulates per-day reward inputs.
+	dayChallenger map[string]int
+	dayBeacons    map[string]int
+	dayWitness    map[string]float64
+	dayDataDC     map[string]int64
+}
+
+type ouiState struct {
+	oui     uint32
+	wallet  string
+	bornDay int
+}
+
+type poolState struct {
+	owner   *Owner
+	city    int
+	target  int
+	bornDay int
+}
+
+// Generate builds the world. It is deterministic in cfg.Seed.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Days <= 0 || cfg.TargetHotspots <= 0 {
+		return nil, fmt.Errorf("simnet: invalid config (days=%d, target=%d)", cfg.Days, cfg.TargetHotspots)
+	}
+	w := newWorld(cfg)
+	c := chain.NewChain(cfg.Start)
+	c.Ledger().SetPoCInterval(1) // sampled challenges are sparse already
+
+	s := &simulator{
+		cfg: cfg, w: w, c: c,
+		res:           &Result{Cfg: cfg, Chain: c, World: w},
+		engine:        poc.NewEngine(),
+		consoleWallet: "sim1console-wallet",
+		exchange:      "sim1exchange",
+		cliqueFill:    map[int]int{},
+		fleetOwners:   map[string][]*Owner{},
+	}
+	// 70 km keeps the elevated-antenna witness tail (Fig 13) while
+	// candidate subsampling bounds per-challenge work in dense metros.
+	s.engine.ConsiderRadiusKm = 70
+	s.engine.MaxCandidates = 150
+	s.zeroLeft = cfg.ZeroZeroCount
+	s.prices = econ.GeneratePrices(cfg.Start, cfg.Days, w.rng.Split())
+	s.rewardPol = econ.RewardPolicy{
+		Split:             econ.DefaultSplit(),
+		USDPerHNT:         2, // updated daily from the price series
+		SecuritiesAccount: "sim1helium-securities",
+	}
+
+	// Genesis block: console OUIs, funding, exchange.
+	genesis := []chain.Txn{
+		&chain.DCCoinbase{Payee: s.consoleWallet, AmountDC: 1 << 50},
+		&chain.SecurityCoinbase{Payee: s.exchange, AmountBones: 1 << 50},
+		&chain.OUIRegistration{OUI: 1, Owner: s.consoleWallet},
+		&chain.OUIRegistration{OUI: 2, Owner: s.consoleWallet},
+	}
+	if _, err := c.AppendBlock(1, genesis); err != nil {
+		return nil, err
+	}
+
+	// Third-party OUIs appear over the timeline; OUI numbers are
+	// handed out in registration (birth) order.
+	ouiSpan := maxi(1, cfg.Days-150)
+	for i := 0; i < cfg.ThirdPartyOUIs; i++ {
+		s.thirdOUIs = append(s.thirdOUIs, ouiState{
+			wallet:  fmt.Sprintf("sim1router-%02d", i),
+			bornDay: mini(cfg.Days-1, 100+w.rng.Intn(ouiSpan)),
+		})
+	}
+	sort.Slice(s.thirdOUIs, func(i, j int) bool { return s.thirdOUIs[i].bornDay < s.thirdOUIs[j].bornDay })
+	for i := range s.thirdOUIs {
+		s.thirdOUIs[i].oui = uint32(3 + i)
+	}
+
+	// Mining pools.
+	poolCities := []string{"Denver", "Denver", "Phoenix", "Atlanta", "Seattle", "Dallas"}
+	for i := 0; i < cfg.PoolCount; i++ {
+		cityName := poolCities[i%len(poolCities)]
+		cityIdx, ok := w.cityByName(cityName)
+		if !ok {
+			cityIdx = w.usCityIdx[0]
+		}
+		s.pools = append(s.pools, &poolState{
+			city: cityIdx, target: cfg.PoolTargetSize, bornDay: 250 + w.rng.Intn(200),
+		})
+	}
+	// A clique city for colluding witnesses.
+	s.cliqueCity, _ = w.cityByName("Phoenix")
+
+	// The daily loop.
+	for day := 0; day < cfg.Days; day++ {
+		s.beginDay()
+		s.stepGrowth(day)
+		s.stepMoves(day)
+		s.stepResale(day)
+		s.stepOUIs(day)
+		s.stepPoC(day)
+		s.stepTraffic(day)
+		s.stepRewards(day)
+		s.stepChurn(day)
+		if err := s.flushDay(day); err != nil {
+			return nil, fmt.Errorf("simnet: day %d: %w", day, err)
+		}
+		s.recordDay(day)
+	}
+	s.buildPeerbook()
+	return s.res, nil
+}
+
+func (s *simulator) beginDay() {
+	s.dayTxns = s.dayTxns[:0]
+	s.dayChallenger = map[string]int{}
+	s.dayBeacons = map[string]int{}
+	s.dayWitness = map[string]float64{}
+	s.dayDataDC = map[string]int64{}
+}
+
+// emit schedules a txn for the current day. Emission order is
+// preserved into block order, so intra-day dependencies (an add
+// before the close that pays its hotspot, assert nonces) always hold;
+// flushDay spreads the sequence across the day's 24 hourly blocks.
+func (s *simulator) emit(t chain.Txn) {
+	s.dayTxns = append(s.dayTxns, t)
+}
+
+// flushDay appends the day's transactions as hourly blocks, mapping
+// emission index i of n to hour i·24/n.
+func (s *simulator) flushDay(day int) error {
+	n := len(s.dayTxns)
+	if n == 0 {
+		return nil
+	}
+	i := 0
+	for i < n {
+		hour := i * 24 / n
+		j := i
+		for j < n && j*24/n == hour {
+			j++
+		}
+		txns := append([]chain.Txn(nil), s.dayTxns[i:j]...)
+		height := int64(day*24+hour)*60 + 2 // +2 clears the genesis block at height 1
+		if _, err := s.c.AppendBlock(height, txns); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// growthAdds returns how many hotspots arrive on the given day:
+// exponential growth calibrated to reach TargetHotspots, with
+// batch-arrival noise (Fig 5's spiky daily series).
+func (s *simulator) growthAdds(day int) int {
+	days := float64(s.cfg.Days)
+	r := 6.7 / days // ⇒ cumulative ratio matching the paper's curve
+	norm := (math.Exp(r*days) - 1) / r
+	base := float64(s.cfg.TargetHotspots) * math.Exp(r*float64(day)) / norm
+	// Batch noise: supply-constrained shipments land in lumps. The
+	// 1.15 divisor removes the lumps' mean so cumulative adds still
+	// land on TargetHotspots.
+	lump := 1.0
+	if s.w.rng.Bool(0.1) {
+		lump = 1.5 + s.w.rng.Float64()*2
+	}
+	return s.w.rng.Poisson(base * lump / 1.15)
+}
+
+func (s *simulator) recordDay(day int) {
+	connected := len(s.w.Hotspots)
+	online, usOnline := 0, 0
+	for _, h := range s.w.Hotspots {
+		if h.Online {
+			online++
+			if s.w.Cities[h.City].Country == "US" {
+				usOnline++
+			}
+		}
+	}
+	s.res.ConnectedByDay = append(s.res.ConnectedByDay, connected)
+	s.res.OnlineByDay = append(s.res.OnlineByDay, online)
+	s.res.USOnlineByDay = append(s.res.USOnlineByDay, usOnline)
+}
+
+// buildPeerbook snapshots the final p2p swarm: public hotspots listen
+// on /ip4 addresses; NAT'd ones pick a random public relay (§6.2).
+func (s *simulator) buildPeerbook() {
+	pb := p2p.NewPeerbook()
+	var public []p2p.Entry
+	var nated []*HotspotState
+	for _, h := range s.w.Hotspots {
+		if !h.Online {
+			continue
+		}
+		h.PeerID = p2p.PeerIDFrom(h.Address)
+		if h.Attachment.NATed || !h.Attachment.PublicIP.IsValid() {
+			nated = append(nated, h)
+			continue
+		}
+		e := p2p.Entry{
+			Peer:     h.PeerID,
+			Addr:     p2p.ListenAddr{IP: h.Attachment.PublicIP, Port: h.Attachment.Port},
+			Location: h.Asserted,
+		}
+		public = append(public, e)
+		pb.Put(e)
+	}
+	// Relay choice is uniform over public peers (the paper's Fig 11
+	// conclusion) except for a thin popularity bias: a handful of
+	// nodes end up relaying dozens of peers for reasons the paper
+	// could not determine (Fig 10, max 46). Since the popular set is
+	// itself geographically random, the distance CDF stays
+	// indistinguishable from uniform.
+	sel := p2p.RandomRelay{}
+	var popular []p2p.PeerID
+	for i := 0; i < 10 && i < len(public); i++ {
+		popular = append(popular, public[s.w.rng.Intn(len(public))].Peer)
+	}
+	for _, h := range nated {
+		var relay p2p.PeerID
+		if len(popular) > 0 && s.w.rng.Bool(0.012) {
+			relay = popular[s.w.rng.Intn(len(popular))]
+		} else {
+			var ok bool
+			relay, ok = sel.Select(h.Asserted, public, s.w.rng)
+			if !ok {
+				continue
+			}
+		}
+		pb.Put(p2p.Entry{
+			Peer:     h.PeerID,
+			Addr:     p2p.ListenAddr{Relay: relay, Peer: h.PeerID},
+			Location: h.Asserted,
+		})
+	}
+	s.res.Peerbook = pb
+}
+
+// assertCell encodes a point at the on-chain resolution.
+func assertCell(p geo.Point) h3lite.Cell {
+	return h3lite.FromLatLon(p, 12)
+}

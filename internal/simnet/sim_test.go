@@ -1,0 +1,378 @@
+package simnet
+
+import (
+	"testing"
+
+	"peoplesnet/internal/chain"
+)
+
+// genTest caches one generated test world per package test run.
+var cachedResult *Result
+
+func testWorld(t *testing.T) *Result {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedResult
+	}
+	res, err := Generate(TestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedResult = res
+	return res
+}
+
+func TestGenerateBasics(t *testing.T) {
+	res := testWorld(t)
+	n := len(res.World.Hotspots)
+	target := res.Cfg.TargetHotspots
+	if n < target*7/10 || n > target*14/10 {
+		t.Fatalf("hotspots = %d, want ≈%d", n, target)
+	}
+	if res.Chain.Height() <= 0 || res.Chain.TxnCount() == 0 {
+		t.Fatal("chain empty")
+	}
+	if len(res.ConnectedByDay) != res.Cfg.Days {
+		t.Fatalf("daily series length = %d", len(res.ConnectedByDay))
+	}
+	// Connected counts are monotone.
+	for i := 1; i < len(res.ConnectedByDay); i++ {
+		if res.ConnectedByDay[i] < res.ConnectedByDay[i-1] {
+			t.Fatal("connected series decreased")
+		}
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	res := testWorld(t)
+	days := res.Cfg.Days
+	// The paper's ratio: ~20k connected on day 587 of 667 vs 44k at
+	// the end — i.e., cumulative at 88% of the timeline is ≈45% of the
+	// final count. Scaled worlds keep the exponent, so test the ratio.
+	mid := res.ConnectedByDay[days*587/667]
+	end := res.ConnectedByDay[days-1]
+	ratio := float64(mid) / float64(end)
+	if ratio < 0.32 || ratio > 0.60 {
+		t.Fatalf("mid/end connected ratio = %v, want ≈0.45", ratio)
+	}
+}
+
+func TestOnlineFraction(t *testing.T) {
+	res := testWorld(t)
+	days := res.Cfg.Days
+	frac := float64(res.OnlineByDay[days-1]) / float64(res.ConnectedByDay[days-1])
+	if frac < 0.65 || frac > 0.92 {
+		t.Fatalf("online fraction = %v, want ≈%v", frac, res.Cfg.OnlineFraction)
+	}
+}
+
+func TestInternationalGrowth(t *testing.T) {
+	res := testWorld(t)
+	days := res.Cfg.Days
+	launch := res.Cfg.InternationalLaunchDay
+	// Before the international launch everything online is US.
+	if us, all := res.USOnlineByDay[launch-1], res.OnlineByDay[launch-1]; us != all {
+		t.Fatalf("pre-launch: %d US of %d online", us, all)
+	}
+	// By the end a substantial share is international.
+	us, all := res.USOnlineByDay[days-1], res.OnlineByDay[days-1]
+	intlFrac := 1 - float64(us)/float64(all)
+	if intlFrac < 0.15 || intlFrac > 0.6 {
+		t.Fatalf("final international fraction = %v, want ≈0.4", intlFrac)
+	}
+}
+
+func TestOwnershipDistribution(t *testing.T) {
+	res := testWorld(t)
+	counts := map[int]int{}
+	totalOwners := 0
+	maxOwned := 0
+	for _, o := range res.World.Owners {
+		n := len(o.Hotspots)
+		if n == 0 {
+			continue
+		}
+		totalOwners++
+		counts[n]++
+		if n > maxOwned {
+			maxOwned = n
+		}
+	}
+	if totalOwners == 0 {
+		t.Fatal("no owners")
+	}
+	one := float64(counts[1]) / float64(totalOwners)
+	// Paper §4.3: 62.1% own exactly one.
+	if one < 0.45 || one < 0.0 || one > 0.8 {
+		t.Fatalf("single-hotspot owners = %v, want ≈0.62", one)
+	}
+	atMost3 := float64(counts[1]+counts[2]+counts[3]) / float64(totalOwners)
+	if atMost3 < 0.7 {
+		t.Fatalf("owners with ≤3 = %v, want ≈0.84", atMost3)
+	}
+	// A dominant mega owner exists.
+	if maxOwned < res.Cfg.TargetHotspots/50 {
+		t.Fatalf("max owned = %d, want a mega owner", maxOwned)
+	}
+}
+
+func TestTxnMixDominatedByPoC(t *testing.T) {
+	res := testWorld(t)
+	mix := res.Chain.TxnMix()
+	poc := mix[chain.TxnPoCRequest] + mix[chain.TxnPoCReceipt]
+	if poc == 0 {
+		t.Fatal("no PoC transactions")
+	}
+	if res.MaterializedPoC != poc {
+		t.Fatalf("materialized %d != chain PoC %d", res.MaterializedPoC, poc)
+	}
+	// Notional mix (§3): PoC ≈ 99.2% of all transactions.
+	other := res.Chain.TxnCount() - poc
+	notionalTotal := res.NotionalPoC + other
+	frac := float64(res.NotionalPoC) / float64(notionalTotal)
+	if frac < 0.97 || frac > 0.999 {
+		t.Fatalf("notional PoC share = %v, want ≈0.992", frac)
+	}
+}
+
+func TestMoveStatistics(t *testing.T) {
+	res := testWorld(t)
+	never, total := 0, 0
+	for _, h := range res.World.Hotspots {
+		if h.Cloud {
+			continue
+		}
+		total++
+		// AssertNonce 1 = only the initial assert.
+		if h.AssertNonce <= 1 {
+			never++
+		}
+	}
+	frac := float64(never) / float64(total)
+	if frac < 0.55 || frac > 0.85 {
+		t.Fatalf("never-moved fraction = %v, want ≈0.72", frac)
+	}
+}
+
+func TestResaleStatistics(t *testing.T) {
+	res := testWorld(t)
+	transferred, total := 0, 0
+	var transferTxns int64
+	for _, h := range res.World.Hotspots {
+		if h.Cloud {
+			continue
+		}
+		total++
+		if h.Transfers > 0 {
+			transferred++
+		}
+	}
+	res.Chain.ScanType(chain.TxnTransferHotspot, func(_ int64, tx chain.Txn) bool {
+		transferTxns++
+		return true
+	})
+	frac := float64(transferred) / float64(total)
+	// Paper: 8.6% of hotspots transferred. Late-added hotspots haven't
+	// hit their scheduled dates, so allow slack below.
+	if frac < 0.02 || frac > 0.15 {
+		t.Fatalf("transferred fraction = %v, want ≈0.086", frac)
+	}
+	if transferTxns == 0 {
+		t.Fatal("no transfer transactions on chain")
+	}
+	// Zero-DC transfers dominate (95.8%).
+	var zero, all int64
+	res.Chain.ScanType(chain.TxnTransferHotspot, func(_ int64, tx chain.Txn) bool {
+		tr := tx.(*chain.TransferHotspot)
+		all++
+		if tr.AmountBones == 0 {
+			zero++
+		}
+		return true
+	})
+	if float64(zero)/float64(all) < 0.9 {
+		t.Fatalf("zero-DC transfer share = %v", float64(zero)/float64(all))
+	}
+}
+
+func TestPeerbookRelaysPrevalent(t *testing.T) {
+	res := testWorld(t)
+	if res.Peerbook.Len() == 0 {
+		t.Fatal("empty peerbook")
+	}
+	relayed := 0
+	for _, e := range res.Peerbook.Entries() {
+		if e.Addr.Relayed() {
+			relayed++
+		}
+	}
+	frac := float64(relayed) / float64(res.Peerbook.Len())
+	// Paper §6.2: 55.48% relayed.
+	if frac < 0.4 || frac > 0.7 {
+		t.Fatalf("relayed fraction = %v, want ≈0.55", frac)
+	}
+}
+
+func TestTrafficSpikeDuringArbitrage(t *testing.T) {
+	res := testWorld(t)
+	// Sum packets per close before, during, and after the arbitrage
+	// window and require the spike shape of Fig 8.
+	var during, after int64
+	res.Chain.ScanType(chain.TxnStateChannelClose, func(h int64, tx chain.Txn) bool {
+		cl := tx.(*chain.StateChannelClose)
+		day := int(h / (24 * 60))
+		switch {
+		case day >= 379 && day < 392:
+			during += cl.TotalPackets()
+		case day >= 420 && day < 433:
+			after += cl.TotalPackets()
+		}
+		return true
+	})
+	if during == 0 {
+		t.Fatal("no traffic during the arbitrage window")
+	}
+	if during < after*3 {
+		t.Fatalf("arbitrage window (%d pkts) should dwarf the weeks after (%d)", during, after)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := TestConfig(11)
+	cfg.Days = 120
+	cfg.TargetHotspots = 300
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chain.TxnCount() != b.Chain.TxnCount() || len(a.World.Hotspots) != len(b.World.Hotspots) {
+		t.Fatal("same seed diverged")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chain.TxnCount() == c.Chain.TxnCount() {
+		t.Fatal("different seeds suspiciously identical")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestCheatersExist(t *testing.T) {
+	res := testWorld(t)
+	forgers, silent, clique := 0, 0, 0
+	for _, h := range res.World.Hotspots {
+		if h.Cheat.ForgeRSSI {
+			forgers++
+		}
+		if h.Cheat.Clique > 0 {
+			clique++
+		}
+		for _, mv := range h.Moves {
+			if mv.Silent {
+				silent++
+				break
+			}
+		}
+	}
+	if forgers == 0 || silent == 0 || clique == 0 {
+		t.Fatalf("cheats missing: forgers=%d silent=%d clique=%d", forgers, silent, clique)
+	}
+}
+
+func TestCommercialFleetsDeployed(t *testing.T) {
+	res := testWorld(t)
+	byFleet := map[string]int{}
+	for _, o := range res.World.Owners {
+		if o.Class == Commercial {
+			byFleet[o.Fleet] += len(o.Hotspots)
+		}
+	}
+	for _, f := range res.Cfg.CommercialFleets {
+		if byFleet[f.Name] == 0 {
+			t.Fatalf("fleet %s has no hotspots", f.Name)
+		}
+	}
+}
+
+func TestValidatorsOnCloudASNs(t *testing.T) {
+	res := testWorld(t)
+	cloud := 0
+	for _, h := range res.World.Hotspots {
+		if h.Cloud {
+			cloud++
+			if h.Attachment.NATed || !h.Attachment.PublicIP.IsValid() {
+				t.Fatal("validator without public cloud IP")
+			}
+		}
+	}
+	if cloud == 0 {
+		t.Fatal("no validator lookalikes")
+	}
+}
+
+func TestRegionalOutageEvent(t *testing.T) {
+	// First pass: find the (city, ISP) pair with the most online
+	// hotspots — the outage target (the paper's case was Spectrum in
+	// Los Angeles). Outage injection consumes no randomness, so the
+	// second pass regenerates the identical world plus the outage.
+	cfg := TestConfig(17)
+	cfg.Days = 450
+	cfg.TargetHotspots = 1200
+	base, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ city, isp string }
+	counts := map[pair]int{}
+	for _, h := range base.World.Hotspots {
+		if h.AddedDay < 380 && h.Online && h.Attachment.ISP != nil {
+			counts[pair{base.World.Cities[h.City].Name, h.Attachment.ISP.Name}]++
+		}
+	}
+	var target pair
+	victims := 0
+	for p, n := range counts {
+		if n > victims {
+			target, victims = p, n
+		}
+	}
+	if victims < 5 {
+		t.Fatalf("no concentrated (city, ISP) pair found: max %d", victims)
+	}
+
+	cfg.Outages = []OutageEvent{{Day: 400, Days: 3, City: target.city, ISP: target.isp}}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.OnlineByDay[399]
+	during := res.OnlineByDay[400]
+	after := res.OnlineByDay[404]
+	if during >= before {
+		t.Fatalf("no dip for %v (%d victims): before %d during %d", target, victims, before, during)
+	}
+	dip := before - during
+	if dip < victims/3 {
+		t.Fatalf("dip %d too small for ~%d victims", dip, victims)
+	}
+	if after <= during {
+		t.Fatalf("no recovery: during %d after %d", during, after)
+	}
+	// Without the outage the same days show no comparable dip.
+	baseDip := base.OnlineByDay[399] - base.OnlineByDay[400]
+	if baseDip >= dip {
+		t.Fatalf("control world dipped as much (%d) as the outage world (%d)", baseDip, dip)
+	}
+}

@@ -1,0 +1,634 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/econ"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/poc"
+)
+
+// ---------------------------------------------------------------------------
+// Growth & ownership (§4.2, §4.3)
+
+// stepGrowth adds the day's new hotspots.
+func (s *simulator) stepGrowth(day int) {
+	adds := s.growthAdds(day)
+	for i := 0; i < adds; i++ {
+		s.addHotspot(day)
+	}
+	// Validator lookalikes trickle in near the end of the window
+	// (§6.1: cloud-hosted "hotspots" on Digital Ocean and Amazon).
+	if day > s.cfg.Days-120 && s.w.rng.Bool(validatorPerDayProb(s.cfg)) {
+		s.addValidator(day)
+	}
+}
+
+func validatorPerDayProb(cfg Config) float64 {
+	// ≈116 validators at full scale over the final 120 days.
+	target := float64(cfg.TargetHotspots) * 116.0 / 44_000
+	return target / 120
+}
+
+// chooseOwner decides who owns a new hotspot.
+func (s *simulator) chooseOwner(day int) *Owner {
+	rng := s.w.rng
+
+	// Mega owner absorbs a share of late adds (max owner 1,903 by
+	// May 2021, §4.3).
+	if day > s.cfg.Days-110 {
+		if s.megaOwner == nil {
+			city, _ := s.w.cityByName("Dallas")
+			s.megaOwner = s.w.newOwner(MegaOwner, city)
+			s.fundOwner(s.megaOwner, day)
+		}
+		if rng.Bool(0.066) {
+			return s.megaOwner
+		}
+	}
+	// Active pools claim their fills.
+	for _, p := range s.pools {
+		if day >= p.bornDay && len(p.ownerHotspots(s)) < p.target && rng.Bool(0.05) {
+			if p.owner == nil {
+				p.owner = s.w.newOwner(MiningPool, p.city)
+				s.fundOwner(p.owner, day)
+			}
+			return p.owner
+		}
+	}
+	// Commercial fleets ramp in their windows.
+	for _, f := range s.cfg.CommercialFleets {
+		owned := 0
+		for _, o := range s.fleetOwners[f.Name] {
+			owned += len(o.Hotspots)
+		}
+		if owned < f.Hotspots && day > s.cfg.Days/2 && rng.Bool(0.02) {
+			owners := s.fleetOwners[f.Name]
+			// nowi-style fleets split across several wallets (§4.3.1).
+			if len(owners) == 0 || (len(owners) < 1+f.Hotspots/13 && rng.Bool(0.3)) {
+				city, ok := s.w.cityByName(f.City)
+				if !ok {
+					city = s.w.usCityIdx[0]
+				}
+				o := s.w.newOwner(Commercial, city)
+				o.Fleet = f.Name
+				s.fundOwner(o, day)
+				owners = append(owners, o)
+				s.fleetOwners[f.Name] = owners
+			}
+			return owners[rng.Intn(len(owners))]
+		}
+	}
+	// Otherwise: fresh individual or preferential attachment.
+	if rng.Bool(s.cfg.NewOwnerProb) || len(s.w.Owners) == 0 {
+		intl := rng.Bool(s.intlShare(day))
+		o := s.w.newOwner(Individual, s.w.pickCity(day, intl))
+		s.fundOwner(o, day)
+		return o
+	}
+	// Preferential attachment over individuals: weight ∝ owned^1.05.
+	best := s.w.Owners[rng.Intn(len(s.w.Owners))]
+	for tries := 0; tries < 12; tries++ {
+		cand := s.w.Owners[rng.Intn(len(s.w.Owners))]
+		if cand.Class != Individual {
+			continue
+		}
+		if best.Class != Individual ||
+			math.Pow(float64(len(cand.Hotspots)+1), 1.05)*rng.Float64() >
+				math.Pow(float64(len(best.Hotspots)+1), 1.05)*rng.Float64() {
+			best = cand
+		}
+	}
+	if best.Class != Individual {
+		o := s.w.newOwner(Individual, s.w.pickCity(day, rng.Bool(s.intlShare(day))))
+		s.fundOwner(o, day)
+		return o
+	}
+	return best
+}
+
+func (p *poolState) ownerHotspots(s *simulator) []int {
+	if p.owner == nil {
+		return nil
+	}
+	return p.owner.Hotspots
+}
+
+// intlShare ramps the international fraction of new adds from 0 at
+// launch day to IntlShareEnd at the end (§4.2).
+func (s *simulator) intlShare(day int) float64 {
+	if day < s.cfg.InternationalLaunchDay {
+		return 0
+	}
+	span := float64(s.cfg.Days - s.cfg.InternationalLaunchDay)
+	return s.cfg.IntlShareEnd * float64(day-s.cfg.InternationalLaunchDay) / span
+}
+
+// fundOwner seeds a wallet with fee money via coinbase txns.
+func (s *simulator) fundOwner(o *Owner, day int) {
+	s.emit(&chain.DCCoinbase{Payee: o.Address, AmountDC: 500_000_000})
+	s.emit(&chain.SecurityCoinbase{Payee: o.Address, AmountBones: 50 * chain.BonesPerHNT})
+}
+
+// addHotspot creates one hotspot: ownership, placement, ISP attach,
+// move plan, cheat profile, and the add/assert transactions.
+func (s *simulator) addHotspot(day int) *HotspotState {
+	rng := s.w.rng
+	owner := s.chooseOwner(day)
+
+	// Placement: pools and commercial fleets deploy in their city;
+	// individuals deploy at home (occasionally travelling).
+	city := owner.HomeCity
+	if owner.Class == Individual && rng.Bool(0.08) {
+		city = s.w.pickCity(day, rng.Bool(s.intlShare(day)))
+	}
+	if owner.Class == MegaOwner {
+		city = s.w.pickCity(day, false) // distributed across the US (Fig 6)
+	}
+	loc := s.w.placeInCity(city)
+	if owner.Class == MiningPool {
+		// Pools space hotspots out for reward efficiency (§4.3.2):
+		// resample until ≥1 km from the pool's other hotspots.
+		for tries := 0; tries < 8; tries++ {
+			ok := true
+			for _, idx := range owner.Hotspots {
+				if geo.HaversineKm(loc, s.w.Hotspots[idx].Asserted) < 1.0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			loc = s.w.placeInCity(city)
+		}
+	}
+
+	h := &HotspotState{
+		Index:    len(s.w.Hotspots),
+		Address:  s.w.newAddress("hs"),
+		OwnerIdx: owner.Index,
+		City:     city,
+		AddedDay: day,
+		Actual:   loc,
+		Online:   true,
+	}
+	owner.Hotspots = append(owner.Hotspots, h.Index)
+	s.w.Hotspots = append(s.w.Hotspots, h)
+
+	// ISP attachment.
+	h.Attachment = s.w.Registry.Attach(s.w.market(city), rng)
+
+	// A few percent of handlers install elevated, high-gain antennas,
+	// producing the long witness-distance tail of Fig 13.
+	h.Elevated = rng.Bool(0.04)
+
+	// Cheats.
+	if rng.Bool(s.cfg.RSSIForgerFrac) {
+		h.Cheat.ForgeRSSI = true
+	}
+	if rng.Bool(s.cfg.AbsurdRSSIFrac) {
+		h.Cheat.AbsurdRSSI = true
+	}
+	if city == s.cliqueCity && s.cfg.CliqueCount > 0 {
+		for cl := 1; cl <= s.cfg.CliqueCount; cl++ {
+			if s.cliqueFill[cl] < s.cfg.CliqueSize {
+				s.cliqueFill[cl]++
+				h.Cheat.Clique = cl
+				break
+			}
+		}
+	}
+
+	s.emit(&chain.AddGateway{Gateway: h.Address, Owner: owner.Address, Maker: maker(day)})
+
+	// First assertion: usually the real spot, occasionally the (0,0)
+	// GPS-failure artifact that gets corrected later (§4.1).
+	first := loc
+	zeroFirst := s.zeroLeft > 0 && rng.Bool(float64(s.cfg.ZeroZeroCount)/float64(s.cfg.TargetHotspots))
+	if zeroFirst {
+		s.zeroLeft--
+		first = geo.Point{}
+	}
+	h.Asserted = first
+	h.Cell = assertCell(first)
+	h.AssertNonce = 1
+	s.emit(&chain.AssertLocation{
+		Gateway: h.Address, Owner: owner.Address, Location: h.Cell, Nonce: 1,
+	})
+
+	s.planMoves(h, owner, day, zeroFirst)
+	s.planResale(h, day)
+	return h
+}
+
+// maker labels vendor batches by era.
+func maker(day int) string {
+	switch {
+	case day < 200:
+		return "OG-Helium"
+	case day < 450:
+		return "RAK"
+	case day%3 == 0:
+		return "Bobcat"
+	case day%3 == 1:
+		return "Nebra"
+	default:
+		return "SenseCAP"
+	}
+}
+
+// addValidator creates a cloud-hosted validator lookalike: appears as
+// a hotspot on the chain, never witnesses or ferries data.
+func (s *simulator) addValidator(day int) {
+	rng := s.w.rng
+	owner := s.w.newOwner(ValidatorOp, s.w.usCityIdx[rng.Intn(len(s.w.usCityIdx))])
+	s.fundOwner(owner, day)
+	h := &HotspotState{
+		Index:    len(s.w.Hotspots),
+		Address:  s.w.newAddress("va"),
+		OwnerIdx: owner.Index,
+		City:     owner.HomeCity,
+		AddedDay: day,
+		Online:   true,
+		Cloud:    true,
+	}
+	owner.Hotspots = append(owner.Hotspots, h.Index)
+	s.w.Hotspots = append(s.w.Hotspots, h)
+	h.Attachment = s.w.Registry.AttachCloud(rng)
+	// Validators assert nothing — they are the "hotspots that never
+	// transmit packets" of §4.1.
+	s.emit(&chain.AddGateway{Gateway: h.Address, Owner: owner.Address, Maker: "validator"})
+}
+
+// ---------------------------------------------------------------------------
+// Moves (§4.1) & resale (§4.3.3)
+
+// planMoves schedules a hotspot's relocations at creation time.
+func (s *simulator) planMoves(h *HotspotState, owner *Owner, day int, zeroFirst bool) {
+	rng := s.w.rng
+	var moves []moveEvent
+
+	if zeroFirst {
+		// The (0,0) artifact is corrected quickly with a real assert.
+		moves = append(moves, moveEvent{Day: day + 1 + rng.Intn(5), Dest: h.Actual})
+	}
+
+	if !rng.Bool(s.cfg.NeverMoveFrac) {
+		// How many (non-correction) moves: most movers move once or
+		// twice (the two free asserts), few more than five.
+		n := 1
+		u := rng.Float64()
+		switch {
+		case u < 0.62:
+			n = 1
+		case u < 0.85:
+			n = 2
+		case u < 0.95:
+			n = 3 + rng.Intn(2)
+		default:
+			n = 5 + rng.Geometric(0.5)
+		}
+		from := h.Actual
+		for i := 0; i < n; i++ {
+			dt := s.moveInterval()
+			moveDay := day + dt
+			if i > 0 {
+				moveDay = moves[len(moves)-1].Day + dt
+			}
+			var dest geo.Point
+			switch {
+			case i == 0 && rng.Bool(0.7):
+				// Test-then-deploy: a short local hop.
+				dest = geo.Destination(from, rng.Float64()*360, 0.2+rng.Float64()*8)
+			case rng.Bool(0.1) && s.cfg.ZeroZeroCount > 0 && rng.Bool(0.05):
+				// Rare relocation *to* (0,0) (fat-finger / test).
+				dest = geo.Point{}
+			case rng.Bool(0.12):
+				// Long-distance move: resale-driven US→EU export or a
+				// cross-country hop (Fig 3c).
+				dest = s.longMoveDest(moveDay)
+			default:
+				dest = geo.Destination(from, rng.Float64()*360, 1+rng.Float64()*40)
+			}
+			moves = append(moves, moveEvent{Day: moveDay, Dest: dest})
+			if !dest.IsZero() {
+				from = dest
+			}
+		}
+	}
+
+	// Silent movers relocate physically without asserting (§7.1). The
+	// move must land inside the observation window to be detectable.
+	if rng.Bool(s.cfg.SilentMoverFrac) && day < s.cfg.Days-60 {
+		moveDay := day + 30 + rng.Intn(maxi(30, s.cfg.Days-day-45))
+		moves = append(moves, moveEvent{
+			Day: moveDay, Dest: s.longMoveDest(moveDay), Silent: true,
+		})
+	}
+
+	// The paper's twenty-move outlier, owned by a large account.
+	if s.outlier == nil && owner.Class == MegaOwner {
+		s.outlier = h
+		from := h.Actual
+		for i := 0; i < 20; i++ {
+			from = geo.Destination(from, rng.Float64()*360, 5+rng.Float64()*300)
+			moves = append(moves, moveEvent{Day: day + 2 + i*4, Dest: from})
+		}
+	}
+	// Execution scans the plan in order; keep it day-sorted so a
+	// far-future move cannot block earlier ones.
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Day < moves[j].Day })
+	h.Moves = moves
+}
+
+// moveInterval samples days between relocations to match Fig 4:
+// 17.9% within a day, 35.8% within a week, 63.2% within a month.
+func (s *simulator) moveInterval() int {
+	rng := s.w.rng
+	u := rng.Float64()
+	switch {
+	case u < 0.179:
+		return 0 // same day (hour-level spacing)
+	case u < 0.358:
+		return 1 + rng.Intn(6)
+	case u < 0.632:
+		return 7 + rng.Intn(23)
+	default:
+		return 30 + int(rng.Exponential(1.0/60))
+	}
+}
+
+// longMoveDest picks a far destination: Europe once international
+// sales open, else across the US. Destinations are population-
+// weighted — hardware moves to where people (and other hotspots)
+// are, which is also what makes silent movers detectable (§7.1's
+// examples resurface in New York, not in an empty town).
+func (s *simulator) longMoveDest(day int) geo.Point {
+	return s.w.placeInCity(s.w.pickCity(day, s.w.rng.Bool(0.7)))
+}
+
+// stepMoves executes scheduled relocations.
+func (s *simulator) stepMoves(day int) {
+	for _, h := range s.w.Hotspots {
+		for h.MoveIdx < len(h.Moves) && h.Moves[h.MoveIdx].Day <= day {
+			mv := h.Moves[h.MoveIdx]
+			h.MoveIdx++
+			h.Actual = mv.Dest
+			if mv.Dest.IsZero() {
+				h.Actual = h.Asserted // (0,0) asserts don't move hardware
+			}
+			if mv.Silent {
+				continue // physical move, no transaction (§7.1)
+			}
+			h.Asserted = mv.Dest
+			h.Cell = assertCell(mv.Dest)
+			h.AssertNonce++
+			s.emit(&chain.AssertLocation{
+				Gateway:  h.Address,
+				Owner:    s.w.Owners[h.OwnerIdx].Address,
+				Location: h.Cell,
+				Nonce:    h.AssertNonce,
+			})
+			// Moving to another city re-homes the backhaul. Before the
+			// international launch no hardware operates abroad, so a
+			// border-adjacent hop cannot re-home to a foreign metro.
+			if city := s.nearestCity(mv.Dest); city >= 0 && city != h.City && !mv.Dest.IsZero() {
+				if s.w.Cities[city].Country == "US" || day >= s.cfg.InternationalLaunchDay {
+					h.City = city
+					h.Attachment = s.w.Registry.Attach(s.w.market(city), s.w.rng)
+				}
+			}
+		}
+	}
+}
+
+// nearestCity finds the closest city within 150 km, or -1.
+func (s *simulator) nearestCity(p geo.Point) int {
+	best, bestKm := -1, 150.0
+	// Scan majors only — towns are tiny and the re-homing effect is
+	// what matters, not exactness.
+	for i := range s.w.Cities {
+		if i >= len(majorCities) {
+			break
+		}
+		if d := geo.HaversineKm(p, s.w.Cities[i].Center); d < bestKm {
+			best, bestKm = i, d
+		}
+	}
+	return best
+}
+
+// planResale schedules ownership transfers (§4.3.3).
+func (s *simulator) planResale(h *HotspotState, day int) {
+	rng := s.w.rng
+	if !rng.Bool(s.cfg.ResaleFrac) {
+		return
+	}
+	first := s.cfg.ResaleStartDay + rng.Intn(maxi(1, s.cfg.Days-s.cfg.ResaleStartDay))
+	if first <= day {
+		first = day + 30
+	}
+	n := 1
+	u := rng.Float64()
+	switch {
+	case u < 0.70:
+		n = 1
+	case u < 0.954:
+		n = 2
+	default:
+		n = 3 + rng.Intn(5)
+	}
+	for i := 0; i < n; i++ {
+		s.resaleQueue = append(s.resaleQueue, resaleEvent{Day: first + i*(20+rng.Intn(60)), Hotspot: h.Index})
+	}
+}
+
+type resaleEvent struct {
+	Day     int
+	Hotspot int
+}
+
+// stepResale executes due transfers.
+func (s *simulator) stepResale(day int) {
+	rng := s.w.rng
+	rest := s.resaleQueue[:0]
+	for _, ev := range s.resaleQueue {
+		if ev.Day > day {
+			rest = append(rest, ev)
+			continue
+		}
+		if ev.Day < day { // missed (should not happen); drop
+			continue
+		}
+		h := s.w.Hotspots[ev.Hotspot]
+		seller := s.w.Owners[h.OwnerIdx]
+		// Buyer: usually a fresh owner; sometimes an active flipper.
+		var buyer *Owner
+		if rng.Bool(0.8) || len(s.w.Owners) < 4 {
+			intl := rng.Bool(s.intlShare(day)) // exports skew late
+			buyer = s.w.newOwner(Individual, s.w.pickCity(day, intl))
+			s.fundOwner(buyer, day)
+		} else {
+			buyer = s.w.Owners[rng.Intn(len(s.w.Owners))]
+			if buyer == seller {
+				rest = append(rest, resaleEvent{Day: day + 1, Hotspot: ev.Hotspot})
+				continue
+			}
+		}
+		amount := int64(0)
+		if !rng.Bool(s.cfg.ResaleZeroDCProb) {
+			amount = int64(5+rng.Intn(30)) * chain.BonesPerHNT
+		}
+		s.emit(&chain.TransferHotspot{
+			Gateway: h.Address, Seller: seller.Address, Buyer: buyer.Address, AmountBones: amount,
+		})
+		// Bookkeeping.
+		removeHotspot(seller, h.Index)
+		buyer.Hotspots = append(buyer.Hotspots, h.Index)
+		h.OwnerIdx = buyer.Index
+		h.Transfers++
+		// Exported hotspots relocate to the buyer's home (Fig 3c).
+		if rng.Bool(s.cfg.ResaleExportProb) {
+			dest := s.w.placeInCity(buyer.HomeCity)
+			h.Moves = append(h.Moves, moveEvent{Day: day + 3 + rng.Intn(20), Dest: dest})
+		}
+	}
+	s.resaleQueue = rest
+}
+
+func removeHotspot(o *Owner, idx int) {
+	for i, v := range o.Hotspots {
+		if v == idx {
+			o.Hotspots = append(o.Hotspots[:i], o.Hotspots[i+1:]...)
+			return
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// OUIs (§5.2)
+
+func (s *simulator) stepOUIs(day int) {
+	for _, o := range s.thirdOUIs {
+		if o.bornDay == day {
+			s.emit(&chain.DCCoinbase{Payee: o.wallet, AmountDC: 1 << 40})
+			s.emit(&chain.OUIRegistration{OUI: o.oui, Owner: o.wallet})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PoC (§2.3, §7)
+
+// rebuildFleet refreshes the PoC spatial index (weekly).
+func (s *simulator) rebuildFleet(day int) {
+	sites := make([]*poc.Site, 0, len(s.w.Hotspots))
+	s.onlineIdx = s.onlineIdx[:0]
+	for _, h := range s.w.Hotspots {
+		if h.Cloud {
+			continue // validators never radio
+		}
+		site := h.Site(s.w.Cities[h.City].EnvUrban)
+		sites = append(sites, site)
+		if h.Online {
+			s.onlineIdx = append(s.onlineIdx, len(sites)-1)
+		}
+	}
+	s.fleet = poc.NewFleet(sites)
+	s.fleetDay = day
+}
+
+func (s *simulator) stepPoC(day int) {
+	if len(s.w.Hotspots) < 3 {
+		return
+	}
+	if s.fleet == nil || day-s.fleetDay >= 7 {
+		s.rebuildFleet(day)
+	}
+	if len(s.onlineIdx) < 2 {
+		return
+	}
+	rng := s.w.rng
+	// Challenge volume scales with network size.
+	frac := float64(len(s.w.Hotspots)) / float64(s.cfg.TargetHotspots)
+	k := int(math.Ceil(float64(s.cfg.PoCSamplePerDay) * frac))
+	usedChallenger := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		ci := s.onlineIdx[rng.Intn(len(s.onlineIdx))]
+		ti := s.onlineIdx[rng.Intn(len(s.onlineIdx))]
+		if ci == ti || usedChallenger[ci] {
+			continue // one challenge per challenger per day (interval rule)
+		}
+		usedChallenger[ci] = true
+		challenger := s.fleet.Sites[ci]
+		challengee := s.fleet.Sites[ti]
+		rcpt := s.engine.RunChallenge(s.fleet, challenger, challengee, rng)
+		s.emit(&chain.PoCRequest{Challenger: challenger.Address, SecretHash: chain.SCID(challenger.Address, int64(day*1000+i))})
+		s.emit(rcpt.ToTxn())
+		s.res.MaterializedPoC += 2
+		s.res.NotionalPoC += int64(2 * s.cfg.PoCWeight)
+
+		// Reward accounting.
+		s.dayChallenger[challenger.Address]++
+		s.dayBeacons[challengee.Address]++
+		for _, w := range rcpt.Witnesses {
+			if w.Valid {
+				s.dayWitness[w.Witness]++
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Traffic (§5)
+
+// packetsPerDay models organic traffic growth toward the final
+// ~14 pkt/s, plus the HIP10 arbitrage spike (Fig 8).
+func (s *simulator) packetsPerDay(day int) (console, third, spam int64) {
+	frac := float64(len(s.w.Hotspots)) / float64(s.cfg.TargetHotspots)
+	organic := s.cfg.PacketsPerSecondEnd * 86400 * math.Pow(frac, 1.4)
+	// Third-party routers ramp late (§5.3.1).
+	thirdShare := 0.0
+	if day > s.cfg.Days*2/3 {
+		thirdShare = (1 - s.cfg.ConsoleShare) * float64(day-s.cfg.Days*2/3) / float64(s.cfg.Days/3)
+	}
+	console = int64(organic * (1 - thirdShare))
+	third = int64(organic * thirdShare)
+
+	// Arbitrage window: DC payments live (Aug 12) → HIP10 (Aug 24),
+	// decaying tail to Sep 6 (§5.3.2).
+	dcLive := s.dayOf(econ.DCPaymentsLiveDate)
+	hip10 := s.dayOf(econ.HIP10Date)
+	tailEnd := hip10 + 13
+	if day >= dcLive && day < tailEnd {
+		mult := s.cfg.ArbitrageMultiplier
+		if day >= hip10 {
+			mult *= math.Exp(-float64(day-hip10) / 4)
+		}
+		spam = int64(organic * mult)
+	}
+	return
+}
+
+// dayOf converts a calendar date into a day index of the timeline.
+func (s *simulator) dayOf(t time.Time) int {
+	return int(t.Sub(s.cfg.Start).Hours() / 24)
+}

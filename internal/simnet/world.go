@@ -1,0 +1,236 @@
+package simnet
+
+import (
+	"fmt"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/h3lite"
+	"peoplesnet/internal/ipgeo"
+	"peoplesnet/internal/p2p"
+	"peoplesnet/internal/poc"
+	"peoplesnet/internal/radio"
+	"peoplesnet/internal/stats"
+)
+
+// OwnerClass labels why a wallet holds hotspots (§4.3).
+type OwnerClass int
+
+// Owner classes.
+const (
+	Individual  OwnerClass = iota // one-or-few hotspots at home
+	MiningPool                    // city-clustered profit fleets
+	Commercial                    // application operators (Careband, nowi)
+	MegaOwner                     // the 1,903-hotspot account
+	ValidatorOp                   // cloud-hosted validator lookalikes
+)
+
+func (c OwnerClass) String() string {
+	switch c {
+	case Individual:
+		return "individual"
+	case MiningPool:
+		return "mining-pool"
+	case Commercial:
+		return "commercial"
+	case MegaOwner:
+		return "mega-owner"
+	case ValidatorOp:
+		return "validator-op"
+	default:
+		return fmt.Sprintf("owner_class_%d", int(c))
+	}
+}
+
+// Owner is one wallet.
+type Owner struct {
+	Index    int
+	Address  string
+	Class    OwnerClass
+	HomeCity int
+	Hotspots []int
+	// Encashes: pools cash HNT out promptly; application users hold
+	// (the balance heuristic of §4.3).
+	Encashes bool
+	Fleet    string // commercial fleet name, if any
+}
+
+// moveEvent is a scheduled relocation.
+type moveEvent struct {
+	Day  int
+	Dest geo.Point
+	// ZeroZero marks a (0,0) assertion (GPS failure / test).
+	ZeroZero bool
+	// Silent means the hotspot physically moves but never re-asserts
+	// (§7.1's Joyful Pink Skunk).
+	Silent bool
+}
+
+// HotspotState is a hotspot's runtime record.
+type HotspotState struct {
+	Index    int
+	Address  string
+	OwnerIdx int
+	City     int
+	AddedDay int
+
+	Asserted geo.Point
+	Actual   geo.Point
+	Cell     h3lite.Cell
+
+	AssertNonce int
+	Online      bool
+	Cloud       bool // validator lookalike on a cloud ASN
+
+	Moves     []moveEvent
+	MoveIdx   int
+	Transfers int
+
+	// Elevated marks the advanced-antenna, high-altitude installs the
+	// paper notes witnessing at 60–110 km (§8.2.1 footnote 16).
+	Elevated bool
+
+	Cheat poc.CheatProfile
+
+	Attachment ipgeo.Attachment
+	PeerID     p2p.PeerID
+
+	// outage marks a temporary regional ISP failure (restored when it
+	// lifts), as opposed to permanent churn.
+	outage bool
+}
+
+// Site converts the hotspot into a PoC site view.
+func (h *HotspotState) Site(cityUrban bool) *poc.Site {
+	env := radio.Suburban
+	gain := 3.0
+	if cityUrban {
+		env = radio.Urban
+	}
+	if h.Elevated {
+		env = radio.Rural // clear horizon dominates local clutter
+		gain = 8
+	}
+	return &poc.Site{
+		Address:  h.Address,
+		Asserted: h.Asserted,
+		Actual:   h.Actual,
+		Cell:     h.Cell,
+		Online:   h.Online,
+		Env:      env,
+		GainDBi:  gain,
+		Cheat:    h.Cheat,
+	}
+}
+
+// World is the evolving simulation state.
+type World struct {
+	Cfg      Config
+	Cities   []City
+	Registry *ipgeo.Registry
+
+	Owners   []*Owner
+	Hotspots []*HotspotState
+
+	rng *stats.RNG
+
+	// markets caches per-city ISP markets.
+	markets map[int]ipgeo.Market
+
+	// usCityIdx / intlCityIdx partition city indexes for launch
+	// gating.
+	usCityIdx   []int
+	intlCityIdx []int
+
+	addrCounter int
+}
+
+// newWorld builds the static geography and registries.
+func newWorld(cfg Config) *World {
+	rng := stats.NewRNG(cfg.Seed)
+	w := &World{
+		Cfg:      cfg,
+		rng:      rng,
+		Registry: ipgeo.NewRegistry(rng.Split(), cfg.TailASNs),
+		markets:  make(map[int]ipgeo.Market),
+	}
+	w.Cities = BuildCities(cfg.Towns, rng.Split())
+	for i, c := range w.Cities {
+		if c.Country == "US" {
+			w.usCityIdx = append(w.usCityIdx, i)
+		} else {
+			w.intlCityIdx = append(w.intlCityIdx, i)
+		}
+	}
+	return w
+}
+
+// newAddress mints a unique chain address. Real addresses are key
+// hashes; the simulator's are sequential for speed and determinism,
+// which no analysis depends on.
+func (w *World) newAddress(kind string) string {
+	w.addrCounter++
+	return fmt.Sprintf("sim1%s%07d", kind, w.addrCounter)
+}
+
+// market returns (building if needed) the city's ISP market.
+func (w *World) market(cityIdx int) ipgeo.Market {
+	if m, ok := w.markets[cityIdx]; ok {
+		return m
+	}
+	c := w.Cities[cityIdx]
+	m := w.Registry.BuildMarket(c.Name, c.Country, c.Population, w.rng)
+	w.markets[cityIdx] = m
+	return m
+}
+
+// pickCity selects a city for a new deployment: population-weighted,
+// respecting the international launch gate.
+func (w *World) pickCity(day int, wantIntl bool) int {
+	pool := w.usCityIdx
+	if wantIntl && day >= w.Cfg.InternationalLaunchDay {
+		pool = w.intlCityIdx
+	}
+	// Population-weighted pick via a few tournament rounds — cheaper
+	// than building a full weight slice per call and heavy-headed
+	// enough to favour metros.
+	best := pool[w.rng.Intn(len(pool))]
+	for i := 0; i < 3; i++ {
+		cand := pool[w.rng.Intn(len(pool))]
+		if w.Cities[cand].Population > w.Cities[best].Population {
+			best = cand
+		}
+	}
+	return best
+}
+
+// cityByName finds a city index by name (commercial fleets pin their
+// city).
+func (w *World) cityByName(name string) (int, bool) {
+	for i, c := range w.Cities {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// placeInCity samples a deployment location inside the city's radius,
+// biased toward the center.
+func (w *World) placeInCity(cityIdx int) geo.Point {
+	c := w.Cities[cityIdx]
+	dist := c.RadiusKm() * w.rng.Float64() * w.rng.Float64() // center-biased
+	return geo.Destination(c.Center, w.rng.Float64()*360, dist)
+}
+
+// newOwner creates an owner homed in a city.
+func (w *World) newOwner(class OwnerClass, cityIdx int) *Owner {
+	o := &Owner{
+		Index:    len(w.Owners),
+		Address:  w.newAddress("own"),
+		Class:    class,
+		HomeCity: cityIdx,
+		Encashes: class == MiningPool || class == MegaOwner,
+	}
+	w.Owners = append(w.Owners, o)
+	return o
+}

@@ -1,0 +1,233 @@
+package statechannel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"peoplesnet/internal/chainkey"
+	"peoplesnet/internal/stats"
+)
+
+func TestDCForBytes(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  int64
+	}{
+		{0, 1}, {-5, 1}, {1, 1}, {24, 1}, {25, 2}, {48, 2}, {49, 3}, {240, 10},
+	}
+	for _, c := range cases {
+		if got := DCForBytes(c.bytes); got != c.want {
+			t.Errorf("DCForBytes(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestOpenAndBuy(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(1))
+	ch, openTxn := Open("router", 1, 1, 100, 1000, 240)
+	if openTxn.ID != ch.ID || openTxn.AmountDC != 100 || openTxn.ExpireWithin != 240 {
+		t.Fatalf("open txn = %+v", openTxn)
+	}
+	o := Offer{Hotspot: "hs1", PacketID: "pkt-1", Bytes: 20}
+	p, err := ch.Buy(o, 1, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DC != 1 || p.ChannelID != ch.ID {
+		t.Fatalf("purchase = %+v", p)
+	}
+	if !p.Verify(signer.Public) {
+		t.Fatal("purchase signature invalid")
+	}
+	other := chainkey.Generate(stats.NewRNG(2))
+	if p.Verify(other.Public) {
+		t.Fatal("purchase verified against wrong key")
+	}
+	if ch.SpentDC() != 1 {
+		t.Fatalf("spent = %d", ch.SpentDC())
+	}
+}
+
+func TestDuplicateCopyPolicy(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(3))
+	ch, _ := Open("router", 1, 2, 100, 0, 240)
+	o1 := Offer{Hotspot: "hs1", PacketID: "dup", Bytes: 10}
+	o2 := Offer{Hotspot: "hs2", PacketID: "dup", Bytes: 10}
+	if _, err := ch.Buy(o1, 1, signer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Buy(o2, 1, signer); !errors.Is(err, ErrDuplicateCopies) {
+		t.Fatalf("second copy with maxCopies=1: %v", err)
+	}
+	// Unlimited copies allowed with maxCopies <= 0.
+	if _, err := ch.Buy(o2, 0, signer); err != nil {
+		t.Fatalf("unlimited copies: %v", err)
+	}
+}
+
+func TestStakeExhaustion(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(4))
+	ch, _ := Open("router", 1, 3, 2, 0, 240)
+	if _, err := ch.Buy(Offer{Hotspot: "a", PacketID: "1", Bytes: 10}, 0, signer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Buy(Offer{Hotspot: "a", PacketID: "2", Bytes: 10}, 0, signer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Buy(Offer{Hotspot: "a", PacketID: "3", Bytes: 10}, 0, signer); !errors.Is(err, ErrChannelExhausted) {
+		t.Fatalf("over-stake buy: %v", err)
+	}
+}
+
+func TestCloseSummaries(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(5))
+	ch, _ := Open("router", 1, 4, 1000, 0, 240)
+	for i := 0; i < 3; i++ {
+		ch.Buy(Offer{Hotspot: "hs-b", PacketID: string(rune('a' + i)), Bytes: 30}, 0, signer)
+	}
+	ch.Buy(Offer{Hotspot: "hs-a", PacketID: "z", Bytes: 10}, 0, signer)
+	cl := ch.Close(nil)
+	if len(cl.Summaries) != 2 {
+		t.Fatalf("summaries = %+v", cl.Summaries)
+	}
+	// Sorted by hotspot.
+	if cl.Summaries[0].Hotspot != "hs-a" || cl.Summaries[1].Hotspot != "hs-b" {
+		t.Fatalf("order = %+v", cl.Summaries)
+	}
+	if cl.Summaries[1].Packets != 3 || cl.Summaries[1].DC != 6 {
+		t.Fatalf("hs-b summary = %+v", cl.Summaries[1])
+	}
+	if cl.TotalPackets() != 4 || cl.TotalDC() != 7 {
+		t.Fatalf("totals = %d pkts %d DC", cl.TotalPackets(), cl.TotalDC())
+	}
+	// Channel refuses further buys.
+	if _, err := ch.Buy(Offer{Hotspot: "x", PacketID: "q", Bytes: 1}, 0, signer); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("post-close buy: %v", err)
+	}
+}
+
+func TestCloseOmissionAndDispute(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(6))
+	ch, _ := Open("router", 1, 5, 1000, 0, 240)
+	var purchases []Purchase
+	for i := 0; i < 3; i++ {
+		p, err := ch.Buy(Offer{Hotspot: "victim", PacketID: string(rune('a' + i)), Bytes: 30}, 0, signer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		purchases = append(purchases, p)
+	}
+	ch.Buy(Offer{Hotspot: "other", PacketID: "q", Bytes: 10}, 0, signer)
+	// Router omits the victim.
+	cl := ch.Close(map[string]bool{"victim": true})
+	if len(cl.Summaries) != 1 {
+		t.Fatalf("summaries = %+v", cl.Summaries)
+	}
+	// Victim demands within grace with its signed purchases.
+	d := Demand{Hotspot: "victim", ChannelID: ch.ID, Purchases: purchases}
+	amended, ok := Arbitrate(cl, d, signer.Public)
+	if !ok {
+		t.Fatal("valid demand rejected")
+	}
+	found := false
+	for _, s := range amended.Summaries {
+		if s.Hotspot == "victim" && s.Packets == 3 && s.DC == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("amended close = %+v", amended.Summaries)
+	}
+	// A demand with forged purchases fails.
+	forged := purchases
+	forged[0].Signature = make([]byte, 64)
+	if _, ok := Arbitrate(cl, Demand{Hotspot: "victim", ChannelID: ch.ID, Purchases: forged}, signer.Public); ok {
+		t.Fatal("forged demand accepted")
+	}
+	// A demand for already-included purchases changes nothing.
+	p2, _ := Open("router", 1, 6, 100, 0, 240)
+	pp, _ := p2.Buy(Offer{Hotspot: "fine", PacketID: "x", Bytes: 1}, 0, signer)
+	cl2 := p2.Close(nil)
+	if _, ok := Arbitrate(cl2, Demand{Hotspot: "fine", ChannelID: p2.ID, Purchases: []Purchase{pp}}, signer.Public); ok {
+		t.Fatal("redundant demand accepted")
+	}
+	// Wrong channel ID fails.
+	if _, ok := Arbitrate(cl, Demand{Hotspot: "victim", ChannelID: "sc-bogus", Purchases: purchases}, signer.Public); ok {
+		t.Fatal("cross-channel demand accepted")
+	}
+	// Empty demand fails.
+	if _, ok := Arbitrate(cl, Demand{Hotspot: "victim", ChannelID: ch.ID}, signer.Public); ok {
+		t.Fatal("empty demand accepted")
+	}
+}
+
+func TestWithinGrace(t *testing.T) {
+	if !WithinGrace(100, 100) || !WithinGrace(100, 110) {
+		t.Fatal("in-grace rejected")
+	}
+	if WithinGrace(100, 111) || WithinGrace(100, 99) {
+		t.Fatal("out-of-grace accepted")
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	b := NewBlocklist()
+	if b.Blocked("hs") || b.Len() != 0 {
+		t.Fatal("fresh blocklist not empty")
+	}
+	b.Add("hs", "lied about packets")
+	if !b.Blocked("hs") || b.Len() != 1 {
+		t.Fatal("add failed")
+	}
+	r, ok := b.Reason("hs")
+	if !ok || r != "lied about packets" {
+		t.Fatal("reason lost")
+	}
+	if b.String() != "blocklist(1 hotspots)" {
+		t.Fatal(b.String())
+	}
+}
+
+// Property: DCForBytes is monotone and 1 DC covers exactly 24 bytes.
+func TestDCForBytesProperty(t *testing.T) {
+	err := quick.Check(func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw%4096), int(bRaw%4096)
+		da, db := DCForBytes(a), DCForBytes(b)
+		if a <= b && da > db {
+			return false // monotone
+		}
+		if da < 1 {
+			return false // minimum 1
+		}
+		// Exact pricing: ceil(n/24) for positive n.
+		if a > 0 && da != int64((a+23)/24) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: purchases verify with the signing key and fail with any
+// other, for arbitrary offers.
+func TestPurchaseSignatureProperty(t *testing.T) {
+	signer := chainkey.Generate(stats.NewRNG(21))
+	imposter := chainkey.Generate(stats.NewRNG(22))
+	ch, _ := Open("router", 1, 9, 1<<40, 0, 240)
+	err := quick.Check(func(hs, pkt string, size uint16) bool {
+		if hs == "" || pkt == "" {
+			return true
+		}
+		p, err := ch.Buy(Offer{Hotspot: hs, PacketID: pkt, Bytes: int(size % 256)}, 0, signer)
+		if err != nil {
+			return false
+		}
+		return p.Verify(signer.Public) && !p.Verify(imposter.Public)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

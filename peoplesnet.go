@@ -1,0 +1,138 @@
+// Package peoplesnet is the public face of a full reproduction of
+// "Federated Infrastructure: Usage, Patterns, and Insights from 'The
+// People's Network'" (IMC 2021) — the first broad measurement study of
+// the Helium LPWAN.
+//
+// The library has three layers:
+//
+//   - A synthetic Helium world generator (the substitute for the live
+//     network the paper measured): blockchain, hotspots, owners, p2p
+//     swarm, ISPs, Proof-of-Coverage with cheats, and data traffic.
+//   - The measurement engine: one analyzer per paper section, turning
+//     a ledger + peerbook + IP metadata into every table and figure.
+//   - Empirical field experiments: the §8 PRR, walk, and ACK-validity
+//     tests run against real protocol components in virtual time.
+//
+// Quick start:
+//
+//	world, _ := peoplesnet.Simulate(peoplesnet.SmallWorld(42))
+//	study := peoplesnet.Measure(world)
+//	fmt.Println(study.RenderText())
+package peoplesnet
+
+import (
+	"io"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/core"
+	"peoplesnet/internal/coverage"
+	"peoplesnet/internal/fieldtest"
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/simnet"
+	"peoplesnet/internal/stats"
+)
+
+// WorldConfig parameterizes the world generator. It is simnet.Config;
+// construct one with PaperWorld or SmallWorld and adjust fields as
+// needed.
+type WorldConfig = simnet.Config
+
+// World is a generated network: chain, hotspot fleet, peerbook.
+type World = simnet.Result
+
+// PaperWorld returns the full-scale configuration: ~44,000 hotspots
+// over the paper's July 2019 – May 2021 window. Generation takes a few
+// seconds and a few hundred MB.
+func PaperWorld(seed uint64) WorldConfig { return simnet.DefaultConfig(seed) }
+
+// SmallWorld returns a ~1/20-scale configuration with the same
+// distributional shapes; it generates in well under a second.
+func SmallWorld(seed uint64) WorldConfig { return simnet.TestConfig(seed) }
+
+// Simulate generates a world.
+func Simulate(cfg WorldConfig) (*World, error) { return simnet.Generate(cfg) }
+
+// Study is the full measurement suite over one world.
+type Study struct {
+	Dataset *core.Dataset
+	World   *World
+
+	Summary   core.ChainSummary
+	Moves     core.MoveAnalysis
+	Growth    core.GrowthAnalysis
+	Ownership core.OwnershipAnalysis
+	Resale    core.ResaleAnalysis
+	Traffic   core.TrafficAnalysis
+	Routers   core.RouterAnalysis
+	ISPs      core.ISPAnalysis
+	Relays    core.RelayAnalysis
+	Audit     core.IncentiveAudit
+}
+
+// Measure runs every chain/p2p/IP analysis of §3–§7 over the world.
+func Measure(w *World) *Study {
+	d := core.FromSimulation(w)
+	return &Study{
+		Dataset:   d,
+		World:     w,
+		Summary:   d.SummarizeChain(),
+		Moves:     d.AnalyzeMoves(),
+		Growth:    d.AnalyzeGrowth(),
+		Ownership: d.AnalyzeOwnership(),
+		Resale:    d.AnalyzeResale(200),
+		Traffic:   d.AnalyzeTraffic(),
+		Routers:   d.AnalyzeRouters(),
+		ISPs:      d.AnalyzeISPs(15),
+		Relays:    d.AnalyzeRelays(5, stats.NewRNG(w.Cfg.Seed^0x4e1a)),
+		Audit:     d.AuditIncentives(1, 100),
+	}
+}
+
+// CoverageStudy evaluates the §8.2 coverage model family over a
+// world's final hotspot fleet and PoC receipts.
+func CoverageStudy(w *World) coverage.Summary {
+	est := coverage.NewConusEstimator()
+	var hotspots []geo.Point
+	for _, h := range w.World.Hotspots {
+		if h.Online && !h.Asserted.IsZero() && geo.InConus(h.Asserted) {
+			hotspots = append(hotspots, h.Asserted)
+		}
+	}
+	challenges := coverage.FromChain(w.Chain)
+	// Restrict challenges to CONUS, as the paper does.
+	var conus []coverage.Challenge
+	for _, ch := range challenges {
+		if geo.InConus(ch.Challengee) {
+			conus = append(conus, ch)
+		}
+	}
+	return est.Evaluate(hotspots, conus)
+}
+
+// FieldConfig re-exports the §8 experiment configuration.
+type FieldConfig = fieldtest.Config
+
+// FieldResult re-exports the §8 experiment result.
+type FieldResult = fieldtest.Result
+
+// Field experiment scenario constructors (§8.1, §8.2.2).
+var (
+	BestCaseExperiment     = fieldtest.BestCase
+	ResidentialExperiment  = fieldtest.Residential
+	UrbanWalkExperiment    = fieldtest.UrbanWalk
+	SuburbanWalkExperiment = fieldtest.SuburbanWalk
+)
+
+// RunField executes a field experiment.
+func RunField(cfg FieldConfig) (*FieldResult, error) { return fieldtest.Run(cfg) }
+
+// WriteChain streams a world's blockchain as JSON lines.
+func WriteChain(w io.Writer, world *World) error {
+	_, err := world.Chain.WriteTo(w)
+	return err
+}
+
+// ReadChain replays a JSON-lines chain dump into a fresh validated
+// chain. The p2p/IP analyses need a live World; chain-derived
+// analyses work directly on the result via internal/core's Dataset.
+func ReadChain(r io.Reader) (*chain.Chain, error) { return chain.ReadChain(r) }

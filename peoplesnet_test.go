@@ -1,0 +1,64 @@
+package peoplesnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateMeasureRender(t *testing.T) {
+	world, err := Simulate(SmallWorld(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := Measure(world)
+	report := study.RenderText()
+	for _, want := range []string{
+		"§3 Transaction mix",
+		"Fig 2", "Fig 3", "Fig 4", "Fig 5",
+		"ownership", "Fig 7", "Fig 8",
+		"Table 1", "Fig 10/11", "incentive audit",
+		"Spectrum",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if len(report) < 1500 {
+		t.Fatalf("report too short: %d bytes", len(report))
+	}
+}
+
+func TestCoverageStudy(t *testing.T) {
+	world, err := Simulate(SmallWorld(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := CoverageStudy(world)
+	if cov.Hotspots == 0 || cov.Challenges == 0 {
+		t.Fatalf("coverage inputs empty: %+v", cov)
+	}
+	// Fig 12's ordering at any scale.
+	if !(cov.Radius300m.Fraction <= cov.RadialRSSI.Fraction) {
+		t.Fatalf("model ordering broken: 300m %v > radial %v",
+			cov.Radius300m.Fraction, cov.RadialRSSI.Fraction)
+	}
+	if cov.WitnessDistKm.N() == 0 || cov.WitnessRSSI.N() == 0 {
+		t.Fatal("witness CDFs empty")
+	}
+	// Fig 14: witness RSSIs are LoRa-plausible (median around
+	// −110 dBm).
+	med := cov.WitnessRSSI.Median()
+	if med > -70 || med < -135 {
+		t.Fatalf("witness RSSI median = %v", med)
+	}
+}
+
+func TestRunFieldFacade(t *testing.T) {
+	res, err := RunField(SuburbanWalkExperiment(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.PRR() <= 0 {
+		t.Fatalf("field experiment empty: %+v", res)
+	}
+}

@@ -1,0 +1,156 @@
+package peoplesnet
+
+import (
+	"fmt"
+	"strings"
+
+	"peoplesnet/internal/names"
+)
+
+// RenderText produces a human-readable reproduction report: one block
+// per paper artifact, with the paper's reference values inline for
+// comparison.
+func (s *Study) RenderText() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("== §3 Transaction mix ==")
+	w("total txns (notional): %d   PoC share: %.2f%%   [paper: 59,092,640 total, 99.2%% PoC]",
+		s.Summary.TotalTxns, s.Summary.PoCFraction*100)
+
+	w("")
+	w("== Fig 2: location changes per hotspot ==")
+	w("never moved: %.1f%%   ≤2 moves: %.1f%%   >5 moves: %.1f%%   max: %d (%s)",
+		s.Moves.NeverMovedFrac*100, s.Moves.AtMostTwoFrac*100, s.Moves.MoreThanFive*100,
+		s.Moves.MaxMoves, names.FromAddress(s.Moves.MaxMover))
+	w("[paper: 71.9%% never move; movers mostly 1–2 times; one 20-move outlier]")
+
+	w("")
+	w("== Fig 3: move distances ==")
+	w("%s", s.Moves.DistancesKm.Render("move distance", " km"))
+	w(">500 km moves: %d (longest %.0f km)", len(s.Moves.LongMoves), longestMove(s))
+	w("(0,0) assertions: %d, first-time %.0f%%, still at (0,0): %d   [paper: 372, 89%%, 0 online]",
+		s.Moves.ZeroAssertions, s.Moves.ZeroFirstFrac*100, s.Moves.StillAtZero)
+
+	w("")
+	w("== Fig 4: blocks between relocations ==")
+	w("within a day: %.1f%%   within a week: %.1f%%   within a month: %.1f%%   [paper: 17.9 / 35.8 / 63.2%%]",
+		s.Moves.WithinDayFrac*100, s.Moves.WithinWeekFrac*100, s.Moves.WithinMoFrac*100)
+
+	w("")
+	w("== Fig 5: network growth ==")
+	w("total connected: %d   final adds/day: %.0f   peak day: %.0f",
+		s.Growth.Total, s.Growth.FinalRate, s.Growth.PeakDaily)
+	w("%s", s.Growth.Daily.Render(72))
+
+	w("")
+	w("== §4.3: ownership ==")
+	w("owners: %d   own 1: %.1f%%   own 2: %.1f%%   own 3: %.1f%%   ≤3: %.1f%%   ≥5: %.1f%%   max: %d",
+		s.Ownership.Owners, s.Ownership.OwnOneFrac*100, s.Ownership.OwnTwoFrac*100,
+		s.Ownership.OwnThreeFrac*100, s.Ownership.AtMostThree*100, s.Ownership.FiveOrMore*100,
+		s.Ownership.MaxOwned)
+	w("[paper: ~9,000 owners; 62.1 / 14.6 / 7%%; 83.7%% ≤3; 10.3%% ≥5; max 1,903]")
+	w("bulk owners (≥10 hotspots): %d", len(s.Ownership.Bulk))
+	for i, o := range s.Ownership.Bulk {
+		if i >= 6 {
+			w("  …")
+			break
+		}
+		w("  %-18s %4d hotspots  %6.0f HNT  %8d data pkts  [%s]",
+			o.Address[:minInt(18, len(o.Address))], o.Hotspots,
+			float64(o.HNTBones)/1e8, o.DataPackets, o.Class)
+	}
+
+	w("")
+	w("== Fig 7: resale market ==")
+	w("transfers: %d   hotspots transferred: %d (%.1f%%)   ≤2 transfers: %.1f%%   zero-DC: %.1f%%",
+		s.Resale.TotalTransfers, s.Resale.TransferredHotspots, s.Resale.TransferredFrac*100,
+		s.Resale.AtMostTwoFrac*100, s.Resale.ZeroDCFrac*100)
+	w("[paper: 3,819 transfers; 8.6%% of hotspots; 95.4%% ≤2; 95.8%% zero-DC]")
+	w("%s", s.Resale.PerMonth.Render(40))
+
+	w("")
+	w("== Fig 8: data traffic ==")
+	w("total packets: %d   console SC share: %.2f%%   final rate: %.1f pkt/s",
+		s.Traffic.TotalPackets, s.Traffic.ConsoleShare*100, s.Traffic.FinalPktPerSec)
+	w("[paper: OUI 1+2 = 81.18%% of SC txns; ≈14 pkt/s at the end]")
+	if s.Traffic.SpikeStartBlock > 0 {
+		w("arbitrage spike: blocks %d–%d (days %d–%d), peak %.0f pkts/close   [paper: Aug 12–Sep 6 2020]",
+			s.Traffic.SpikeStartBlock, s.Traffic.SpikeEndBlock,
+			s.Traffic.SpikeStartBlock/1440, s.Traffic.SpikeEndBlock/1440, s.Traffic.SpikePeak)
+	}
+	w("routers: %d OUIs (%d Helium Console)   [paper: 10 OUIs, 2 Helium]",
+		s.Routers.OUIs, s.Routers.ConsoleOUIs)
+
+	w("")
+	w("== Table 1 / Fig 9: backhaul ISPs ==")
+	w("public hotspots: %d over %d ASNs   cloud-hosted: %d   [paper: 454 ASNs; DO 72 + AWS 44 cloud]",
+		s.ISPs.PublicHotspots, len(s.ISPs.ASNs), s.ISPs.CloudHotspots)
+	for i, row := range s.ISPs.TopISPs {
+		w("  %2d. %-14s %5d", i+1, row.ISP, row.Hotspots)
+	}
+	w("cities: %d   single-ASN: %d (%.0f%%)   single-ASN with ≥2 hotspots: %d",
+		s.ISPs.Cities, s.ISPs.SingleASNCities,
+		frac(s.ISPs.SingleASNCities, s.ISPs.Cities)*100, s.ISPs.SingleASNMulti)
+	w("[paper: 3,958 cities; 1,588 single-ASN; 414 of those with ≥2]")
+
+	w("")
+	w("== Fig 10/11: relays ==")
+	w("peers: %d   relayed: %d (%.2f%%)   max fan-out: %d   [paper: 27,281 peers, 55.48%%, max 46]",
+		s.Relays.Stats.Total, s.Relays.Stats.Relayed,
+		s.Relays.Stats.RelayedFraction()*100, s.Relays.Stats.MaxFanOut)
+	if s.Relays.Stats.DistancesKm.N() > 0 {
+		w("%s", s.Relays.Stats.DistancesKm.Render("relay→peer distance", " km"))
+	}
+	w("KS vs %d random reassignments: %.3f (small ⇒ selection is random, the paper's finding)",
+		len(s.Relays.RandomTrials), s.Relays.MaxKS)
+
+	w("")
+	w("== §7: incentive audit ==")
+	w("silent movers found: %d   lying witnesses: %d   clique suspects: %d",
+		len(s.Audit.SilentMovers), len(s.Audit.LyingWitness), len(s.Audit.CliqueSuspects))
+	for i, m := range s.Audit.SilentMovers {
+		if i >= 3 {
+			w("  …")
+			break
+		}
+		w("  %q asserted %v but witnesses cluster %.0f km away over %d receipts",
+			names.FromAddress(m.Hotspot), m.AssertedAt, m.MedianWitnessKm, m.Receipts)
+	}
+	for i, l := range s.Audit.LyingWitness {
+		if i >= 3 {
+			w("  …")
+			break
+		}
+		w("  witness %q max RSSI %.0f dBm (%d absurd, %d too-strong of %d reports)",
+			names.FromAddress(l.Witness), l.MaxRSSI, l.Absurd, l.TooStrong, l.Reports)
+	}
+
+	w("")
+	w("== §9.1: if the top ISP flips the switch ==")
+	ban := s.Dataset.AssessISPBan("Spectrum", "US")
+	w("a Spectrum residential-ToS crackdown takes down %d of %d visible US hotspots (%.0f%%)   [paper: ≥17%%]",
+		ban.VisibleAffected, ban.CountryPublic, ban.Fraction*100)
+	return b.String()
+}
+
+func longestMove(s *Study) float64 {
+	if len(s.Moves.LongMoves) == 0 {
+		return 0
+	}
+	return s.Moves.LongMoves[0].DistanceKm
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
