@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper tables & figures (EXPERIMENTS.md); add PEOPLESNET_BENCH_SCALE=paper
+# for the full 44k-hotspot world.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# ETL ingest/query benchmarks only (EXPERIMENTS.md "ETL store" section).
+bench-etl:
+	$(GO) test -run xxx -bench 'BenchmarkETL' -benchtime 200x .
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build race

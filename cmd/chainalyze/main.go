@@ -12,17 +12,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/core"
+	"peoplesnet/internal/etl"
 	"peoplesnet/internal/names"
 )
 
 func main() {
 	pocWeight := flag.Float64("poc-weight", 600, "notional transactions per sampled PoC receipt")
+	fullscan := flag.Bool("fullscan", false, "scan raw blocks instead of building the ETL index")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: chainalyze [-poc-weight N] <chain.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: chainalyze [-poc-weight N] [-fullscan] <chain.jsonl>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -37,6 +40,15 @@ func main() {
 		os.Exit(1)
 	}
 	d := &core.Dataset{Chain: c, PoCWeight: *pocWeight}
+	if !*fullscan {
+		start := time.Now()
+		store := etl.FromChain(c)
+		st := store.Stats()
+		fmt.Printf("etl: %d segments (+%d pending blocks) in %v, %d type / %d actor postings\n",
+			st.Segments, st.PendingBlocks, time.Since(start).Round(time.Millisecond),
+			st.TypePostings, st.ActorPostings)
+		d.Chain = store.View()
+	}
 
 	s := d.SummarizeChain()
 	fmt.Printf("chain: %d blocks to height %d, %d txns (notional), PoC %.2f%%\n",

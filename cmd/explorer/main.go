@@ -9,6 +9,9 @@
 //	GET /hotspots/{addr}  one hotspot
 //	GET /coverage         Fig 12 model percentages (JSON)
 //	GET /report           plain-text measurement report
+//	GET /etl              ETL store shape: segments, postings, rollups
+//	GET /txns             indexed transaction search
+//	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50)
 //
 // Usage:
 //
@@ -21,16 +24,20 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"peoplesnet"
+	"peoplesnet/internal/chain"
 	"peoplesnet/internal/coverage"
+	"peoplesnet/internal/etl"
 	"peoplesnet/internal/names"
 )
 
 type server struct {
 	world *peoplesnet.World
 	study *peoplesnet.Study
+	store *etl.Store
 }
 
 type hotspotJSON struct {
@@ -132,6 +139,80 @@ func (s *server) handleCoverageGeoJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"type": "FeatureCollection", "features": features})
 }
 
+func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	agg := s.store.Aggregates()
+	mix := make(map[string]int64, len(agg.Mix))
+	for tt, n := range agg.Mix {
+		mix[tt.String()] = n
+	}
+	writeJSON(w, map[string]any{
+		"blocks":          st.Blocks,
+		"txns":            st.Txns,
+		"segments":        st.Segments,
+		"pending_blocks":  st.PendingBlocks,
+		"first_height":    st.FirstHeight,
+		"tip_height":      st.TipHeight,
+		"type_postings":   st.TypePostings,
+		"actor_postings":  st.ActorPostings,
+		"shared_postings": st.SharedPostings,
+		"txn_mix":         mix,
+		"transfers":       agg.Transfers,
+		"total_packets":   agg.TotalPackets,
+		"segment_ranges":  s.store.Segments(),
+	})
+}
+
+// handleTxns serves indexed transaction search over the ETL store.
+func (s *server) handleTxns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f etl.Filter
+	if name := q.Get("type"); name != "" {
+		tt, ok := chain.ParseTxnType(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown txn type %q", name), http.StatusBadRequest)
+			return
+		}
+		f.Types = []chain.TxnType{tt}
+	}
+	if actor := q.Get("actor"); actor != "" {
+		f.Actors = []string{actor}
+	}
+	rng := etl.All()
+	limit := 100
+	var err error
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"from", &rng.From}, {"to", &rng.To}} {
+		if v := q.Get(p.name); v != "" {
+			if *p.dst, err = strconv.ParseInt(v, 10, 64); err != nil {
+				http.Error(w, p.name+": "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+
+	type txnJSON struct {
+		Height int64     `json:"height"`
+		Type   string    `json:"type"`
+		Hash   string    `json:"hash"`
+		Txn    chain.Txn `json:"txn"`
+	}
+	out := make([]txnJSON, 0, limit)
+	s.store.Scan(rng, f, func(h int64, t chain.Txn) bool {
+		out = append(out, txnJSON{Height: h, Type: t.TxnType().String(), Hash: chain.Hash(t), Txn: t})
+		return len(out) < limit
+	})
+	writeJSON(w, out)
+}
+
 func (s *server) handleReport(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.study.RenderText())
@@ -163,7 +244,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{world: world, study: peoplesnet.Measure(world)}
+	s := &server{world: world, study: peoplesnet.Measure(world), store: etl.FromChain(world.Chain)}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
@@ -172,7 +253,9 @@ func main() {
 	mux.HandleFunc("/coverage", s.handleCoverage)
 	mux.HandleFunc("/coverage.geojson", s.handleCoverageGeoJSON)
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/etl", s.handleETL)
+	mux.HandleFunc("/txns", s.handleTxns)
 
-	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report)", *listen)
+	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report, etl, txns)", *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }

@@ -1,0 +1,261 @@
+package peoplesnet
+
+// ETL benchmarks: ingest throughput (bulk load vs live follow vs
+// steady-state append) and the indexed-vs-fullscan cost of the
+// repeated §3/§4 queries the paper's analyses issue. The fullscan
+// variants read raw blocks the way the seed analyses did; the indexed
+// variants resolve through the etl store's posting lists and
+// materialized aggregates. Same world-caching and scale knobs as
+// bench_test.go.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/core"
+	"peoplesnet/internal/etl"
+)
+
+var (
+	etlOnce      sync.Once
+	etlBenchView *etl.Store
+)
+
+// etlStore indexes the cached bench world exactly once.
+func etlStore(b *testing.B) (*World, *etl.Store) {
+	w, _ := world(b)
+	etlOnce.Do(func() { etlBenchView = etl.FromChain(w.Chain) })
+	return w, etlBenchView
+}
+
+// --- ingest ---------------------------------------------------------------
+
+func BenchmarkETLIngest_Bulk(b *testing.B) {
+	w, _ := world(b)
+	blocks := len(w.Chain.Blocks())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := etl.New(etl.Config{})
+		if err := s.BulkLoad(w.Chain); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(blocks)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+func BenchmarkETLIngest_Follow(b *testing.B) {
+	w, _ := world(b)
+	blocks := len(w.Chain.Blocks())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := etl.New(etl.Config{})
+		f := s.FollowChain(w.Chain)
+		// Close waits for the catch-up drain, so the whole history has
+		// been ingested through the subscription path when it returns.
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if s.Height() != w.Chain.Height() {
+			b.Fatalf("follower stopped at %d, chain at %d", s.Height(), w.Chain.Height())
+		}
+	}
+	b.ReportMetric(float64(blocks)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkETLIngest_Append measures the steady-state per-block cost
+// on an already-loaded store — the O(N)-for-N-new-blocks incremental
+// path, including aggregate updates and periodic segment sealing.
+func BenchmarkETLIngest_Append(b *testing.B) {
+	w, _ := world(b)
+	s := etl.New(etl.Config{})
+	if err := s.BulkLoad(w.Chain); err != nil {
+		b.Fatal(err)
+	}
+	tip := s.Height()
+	txns := []chain.Txn{&chain.Payment{Payer: "bench-a", Payee: "bench-b", AmountBones: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := &chain.Block{Height: tip + 1 + int64(i), Txns: txns}
+		if err := s.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- repeated queries: indexed vs fullscan --------------------------------
+
+// Transaction mix (§3, Table 1): materialized aggregate vs full scan.
+func BenchmarkETLQuery_TxnMix_Indexed(b *testing.B) {
+	_, s := etlStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.TxnMix()) == 0 {
+			b.Fatal("empty mix")
+		}
+	}
+}
+
+func BenchmarkETLQuery_TxnMix_Fullscan(b *testing.B) {
+	w, _ := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(w.Chain.TxnMix()) == 0 {
+			b.Fatal("empty mix")
+		}
+	}
+}
+
+// Resale series (§4.3.3, Fig 7): every transfer_hotspot txn, via the
+// per-type posting lists vs a full scan.
+func BenchmarkETLQuery_Transfers_Indexed(b *testing.B) {
+	_, s := etlStore(b)
+	f := etl.Filter{Types: []chain.TxnType{chain.TxnTransferHotspot}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		s.Scan(etl.All(), f, func(int64, chain.Txn) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no transfers")
+		}
+	}
+}
+
+func BenchmarkETLQuery_Transfers_Fullscan(b *testing.B) {
+	w, _ := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		w.Chain.ScanType(chain.TxnTransferHotspot, func(int64, chain.Txn) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no transfers")
+		}
+	}
+}
+
+// Hotspot timeline (§4.1): one hotspot's assert/transfer history via
+// its actor posting lists vs a full scan with a mention check.
+func BenchmarkETLQuery_HotspotTimeline_Indexed(b *testing.B) {
+	w, s := etlStore(b)
+	f := etl.Filter{
+		Types:  []chain.TxnType{chain.TxnAssertLocation, chain.TxnTransferHotspot},
+		Actors: []string{w.World.Hotspots[0].Address},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		s.Scan(etl.All(), f, func(int64, chain.Txn) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+func BenchmarkETLQuery_HotspotTimeline_Fullscan(b *testing.B) {
+	w, _ := world(b)
+	addr := w.World.Hotspots[0].Address
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		w.Chain.Scan(func(h int64, t chain.Txn) bool {
+			switch v := t.(type) {
+			case *chain.AssertLocation:
+				if v.Gateway == addr {
+					n++
+				}
+			case *chain.TransferHotspot:
+				if v.Gateway == addr {
+					n++
+				}
+			}
+			return true
+		})
+		if n == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+// Adds per day (§4.2, Fig 5): materialized rollup vs recount.
+func BenchmarkETLQuery_AddsPerDay_Indexed(b *testing.B) {
+	_, s := etlStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.AddsPerDay()) == 0 {
+			b.Fatal("no adds")
+		}
+	}
+}
+
+func BenchmarkETLQuery_AddsPerDay_Fullscan(b *testing.B) {
+	w, _ := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adds := make(map[int64]int64)
+		w.Chain.ScanType(chain.TxnAddGateway, func(h int64, _ chain.Txn) bool {
+			adds[h/chain.BlocksPerDay]++
+			return true
+		})
+		if len(adds) == 0 {
+			b.Fatal("no adds")
+		}
+	}
+}
+
+// Wallet balance history (§4.3): core.BalanceHistory through the
+// actor posting lists vs through raw chain scans. Rewards dominate a
+// wallet's timeline, so this pair indexes reward entries fully
+// (IndexRewardEntries — the memory-for-speed dial); with the lean
+// default, actor scans still inspect every rewards txn and gain
+// little here.
+func BenchmarkETLQuery_BalanceHistory_Indexed(b *testing.B) {
+	w, _ := world(b)
+	s := etl.New(etl.Config{IndexRewardEntries: true})
+	if err := s.BulkLoad(w.Chain); err != nil {
+		b.Fatal(err)
+	}
+	d := &core.Dataset{Chain: s.View()}
+	owner := w.World.Owners[0].Address
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.BalanceHistory(owner)
+	}
+}
+
+func BenchmarkETLQuery_BalanceHistory_Fullscan(b *testing.B) {
+	w, _ := world(b)
+	d := &core.Dataset{Chain: w.Chain}
+	owner := w.World.Owners[0].Address
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.BalanceHistory(owner)
+	}
+}
+
+// Full-history visit: single-goroutine Scan vs the segment worker
+// pool. Parallelism only pays off above the per-segment dispatch cost,
+// which is what this pair quantifies.
+func BenchmarkETLScan_Sequential(b *testing.B) {
+	_, s := etlStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		s.Scan(etl.All(), etl.Filter{}, func(int64, chain.Txn) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+func BenchmarkETLScan_Parallel(b *testing.B) {
+	_, s := etlStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n atomic.Int64
+		s.ScanParallel(etl.All(), etl.Filter{}, 8, func(int64, chain.Txn) bool { n.Add(1); return true })
+		if n.Load() == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

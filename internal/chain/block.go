@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -37,16 +39,25 @@ func (b *Block) computeHash() string {
 // block validates and applies every transaction atomically from the
 // caller's perspective: a block containing any invalid transaction is
 // rejected whole.
+//
+// A Chain is safe for one producer appending blocks concurrently with
+// any number of readers (Scan, Blocks, BlocksFrom, subscribers):
+// appended blocks are immutable, and the block slice is only read
+// under the mutex or via snapshots taken under it.
 type Chain struct {
 	Genesis time.Time
 	ledger  *Ledger
-	blocks  []*Block
+
+	mu     sync.RWMutex
+	blocks []*Block
+	subs   map[int]chan struct{}
+	nextID int
 }
 
 // NewChain creates a chain whose genesis time anchors block heights to
 // wall-clock timestamps. The paper's network launched July 29, 2019.
 func NewChain(genesis time.Time) *Chain {
-	return &Chain{Genesis: genesis, ledger: NewLedger()}
+	return &Chain{Genesis: genesis, ledger: NewLedger(), subs: make(map[int]chan struct{})}
 }
 
 // DefaultGenesis is the first real entry on the Helium blockchain (§3).
@@ -57,10 +68,26 @@ func (c *Chain) Ledger() *Ledger { return c.ledger }
 
 // Height returns the height of the last block (-1 if empty).
 func (c *Chain) Height() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.heightLocked()
+}
+
+func (c *Chain) heightLocked() int64 {
 	if len(c.blocks) == 0 {
 		return -1
 	}
 	return c.blocks[len(c.blocks)-1].Height
+}
+
+// FirstHeight returns the height of the first block (-1 if empty).
+func (c *Chain) FirstHeight() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.blocks) == 0 {
+		return -1
+	}
+	return c.blocks[0].Height
 }
 
 // TimeOf returns the wall-clock timestamp for a block height.
@@ -83,8 +110,8 @@ func (c *Chain) HeightOf(t time.Time) int64 {
 // may be sparse. If any transaction fails validation, no state
 // changes and the error identifies the offender.
 func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
-	if height <= c.Height() {
-		return nil, fmt.Errorf("chain: height %d not beyond tip %d", height, c.Height())
+	if tip := c.Height(); height <= tip {
+		return nil, fmt.Errorf("chain: height %d not beyond tip %d", height, tip)
 	}
 	// Validate-all-then-apply-all is not sufficient when later txns
 	// depend on earlier ones in the same block (add_gateway then
@@ -104,6 +131,7 @@ func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
 	}
 	c.ledger.mu.Unlock()
 
+	c.mu.Lock()
 	prev := ""
 	if len(c.blocks) > 0 {
 		prev = c.blocks[len(c.blocks)-1].Hash
@@ -116,7 +144,37 @@ func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
 	}
 	b.Hash = b.computeHash()
 	c.blocks = append(c.blocks, b)
+	// Coalescing notification: a subscriber that has not drained its
+	// signal yet learns about this block on its next poll anyway.
+	for _, ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
 	return b, nil
+}
+
+// Subscribe registers for append notifications: the returned channel
+// receives a (coalesced) signal after each AppendBlock. Consumers pull
+// the new blocks with BlocksFrom, so a missed signal never loses data.
+// The cancel function unregisters and closes the channel.
+func (c *Chain) Subscribe() (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	ch := make(chan struct{}, 1)
+	c.subs[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(ch)
+		}
+	}
 }
 
 // speculative applies txns in order, recording the first error; on
@@ -134,14 +192,40 @@ func (l *Ledger) speculative(txns []Txn, height int64) []error {
 	return errs
 }
 
-// Blocks returns the block sequence (shared slice; callers must not
-// mutate).
-func (c *Chain) Blocks() []*Block { return c.blocks }
+// Blocks returns a copy of the block sequence. The blocks themselves
+// are shared and immutable once appended.
+func (c *Chain) Blocks() []*Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Block(nil), c.blocks...)
+}
+
+// BlocksFrom returns every block with height strictly greater than
+// after, in order. Followers keep their last-seen tip and pass it here
+// so each poll reads only the new suffix, not the whole history.
+func (c *Chain) BlocksFrom(after int64) []*Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i := sort.Search(len(c.blocks), func(i int) bool { return c.blocks[i].Height > after })
+	if i == len(c.blocks) {
+		return nil
+	}
+	return append([]*Block(nil), c.blocks[i:]...)
+}
+
+// snapshot returns the current block slice header; the backing array
+// is append-only and blocks are immutable, so iterating the snapshot
+// without the lock is safe.
+func (c *Chain) snapshot() []*Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks
+}
 
 // TxnCount returns the total number of transactions on chain.
 func (c *Chain) TxnCount() int64 {
 	var n int64
-	for _, b := range c.blocks {
+	for _, b := range c.snapshot() {
 		n += int64(len(b.Txns))
 	}
 	return n
@@ -150,7 +234,7 @@ func (c *Chain) TxnCount() int64 {
 // TxnMix counts transactions by type.
 func (c *Chain) TxnMix() map[TxnType]int64 {
 	mix := make(map[TxnType]int64)
-	for _, b := range c.blocks {
+	for _, b := range c.snapshot() {
 		for _, t := range b.Txns {
 			mix[t.TxnType()]++
 		}
@@ -161,7 +245,7 @@ func (c *Chain) TxnMix() map[TxnType]int64 {
 // Scan calls fn for every transaction in height order, stopping early
 // if fn returns false.
 func (c *Chain) Scan(fn func(height int64, t Txn) bool) {
-	for _, b := range c.blocks {
+	for _, b := range c.snapshot() {
 		for _, t := range b.Txns {
 			if !fn(b.Height, t) {
 				return

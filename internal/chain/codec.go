@@ -114,11 +114,12 @@ func (b *Block) UnmarshalJSON(data []byte) error {
 // genesis time, then one line per block.
 func (c *Chain) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	blocks := c.snapshot()
 	var n int64
 	hdr, err := json.Marshal(struct {
 		Genesis time.Time `json:"genesis"`
 		Blocks  int       `json:"blocks"`
-	}{c.Genesis, len(c.blocks)})
+	}{c.Genesis, len(blocks)})
 	if err != nil {
 		return 0, err
 	}
@@ -127,7 +128,7 @@ func (c *Chain) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	for _, b := range c.blocks {
+	for _, b := range blocks {
 		line, err := json.Marshal(b)
 		if err != nil {
 			return n, err

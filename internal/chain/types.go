@@ -74,6 +74,17 @@ func (t TxnType) String() string {
 	return fmt.Sprintf("txn_type_%d", uint8(t))
 }
 
+// ParseTxnType resolves a snake_case transaction name ("payment",
+// "state_channel_close", …) to its TxnType.
+func ParseTxnType(name string) (TxnType, bool) {
+	for tt, n := range txnNames {
+		if n == name {
+			return tt, true
+		}
+	}
+	return TxnUnknown, false
+}
+
 // Monetary units.
 const (
 	BonesPerHNT = 100_000_000 // 1 HNT = 1e8 bones

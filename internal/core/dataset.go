@@ -23,9 +23,39 @@ type HotspotMeta struct {
 	Cloud   bool
 }
 
+// ChainView is the read surface the analyses consume. *chain.Chain
+// implements it by scanning blocks; *etl.Store implements it over a
+// segmented index, so the same analysis code resolves through posting
+// lists and materialized aggregates instead of full rescans.
+type ChainView interface {
+	// Height of the last block (-1 if empty).
+	Height() int64
+	// FirstHeight of the first block (-1 if empty).
+	FirstHeight() int64
+	// TxnCount is the total number of transactions.
+	TxnCount() int64
+	// TxnMix counts transactions by type.
+	TxnMix() map[chain.TxnType]int64
+	// Ledger exposes the replayed ledger state.
+	Ledger() *chain.Ledger
+	// Scan visits every transaction in height order until fn returns
+	// false.
+	Scan(fn func(height int64, t chain.Txn) bool)
+	// ScanType visits every transaction of one type in height order.
+	ScanType(tt chain.TxnType, fn func(height int64, t chain.Txn) bool)
+}
+
+// ActorScanner is an optional ChainView extension: a view that can
+// enumerate only the transactions mentioning one actor (a hotspot or
+// wallet address). Analyses that walk a single wallet's history use it
+// when available instead of scanning the whole chain.
+type ActorScanner interface {
+	ScanActor(actor string, fn func(height int64, t chain.Txn) bool)
+}
+
 // Dataset bundles everything the analyses consume.
 type Dataset struct {
-	Chain    *chain.Chain
+	Chain    ChainView
 	Peerbook *p2p.Peerbook
 	// Meta maps hotspot address → measurement metadata. Analyses that
 	// need it degrade gracefully when entries are missing.
@@ -60,9 +90,8 @@ func (d *Dataset) SummarizeChain() ChainSummary {
 	mix := d.Chain.TxnMix()
 	w := d.pocWeight()
 	s := ChainSummary{ByType: make(map[chain.TxnType]int64), HighestBlock: d.Chain.Height()}
-	blocks := d.Chain.Blocks()
-	if len(blocks) > 0 {
-		s.FirstBlock = blocks[0].Height
+	if first := d.Chain.FirstHeight(); first >= 0 {
+		s.FirstBlock = first
 	}
 	for tt, n := range mix {
 		c := n

@@ -1,0 +1,116 @@
+package etl
+
+import (
+	"peoplesnet/internal/chain"
+)
+
+// ClosePoint is one state-channel close: the block it landed in and
+// the packets it settled (the Fig 8 series).
+type ClosePoint struct {
+	Height  int64
+	Packets int64
+}
+
+// Aggregates are the incrementally-materialized rollups for the hot
+// analyses. A snapshot is safe to read and mutate; the store keeps its
+// own live copy.
+type Aggregates struct {
+	// Mix counts transactions by type (§3).
+	Mix map[chain.TxnType]int64
+	// AddsPerDay buckets add_gateway txns by day index (Fig 5).
+	AddsPerDay map[int64]int64
+	// AssertsPerGateway counts location assertions per hotspot; moves
+	// per hotspot (Fig 2) is asserts−1.
+	AssertsPerGateway map[string]int64
+	// TransfersPerGateway counts resales per hotspot (Fig 7a).
+	TransfersPerGateway map[string]int64
+	Transfers           int64
+	// ZeroHNTTransfers counts transfers with no on-chain payment
+	// (§4.3.3's 95.8%).
+	ZeroHNTTransfers int64
+	// Closes is the per-close packet series (Fig 8); TotalPackets sums
+	// it.
+	Closes       []ClosePoint
+	TotalPackets int64
+}
+
+// aggregates is the store-internal live state plus counters that feed
+// Stats.
+type aggregates struct {
+	Aggregates
+	txnCount int64
+}
+
+func newAggregates() *aggregates {
+	return &aggregates{Aggregates: Aggregates{
+		Mix:                 make(map[chain.TxnType]int64),
+		AddsPerDay:          make(map[int64]int64),
+		AssertsPerGateway:   make(map[string]int64),
+		TransfersPerGateway: make(map[string]int64),
+	}}
+}
+
+// observe folds one transaction into the rollups. Called under the
+// store's write lock during ingest — O(1) per txn, which is what makes
+// re-analysis after N new blocks O(N) instead of O(chain).
+func (a *aggregates) observe(height int64, t chain.Txn) {
+	a.txnCount++
+	a.Mix[t.TxnType()]++
+	switch v := t.(type) {
+	case *chain.AddGateway:
+		a.AddsPerDay[height/chain.BlocksPerDay]++
+	case *chain.AssertLocation:
+		a.AssertsPerGateway[v.Gateway]++
+	case *chain.TransferHotspot:
+		a.Transfers++
+		a.TransfersPerGateway[v.Gateway]++
+		if v.AmountBones == 0 {
+			a.ZeroHNTTransfers++
+		}
+	case *chain.StateChannelClose:
+		pkts := v.TotalPackets()
+		a.Closes = append(a.Closes, ClosePoint{Height: height, Packets: pkts})
+		a.TotalPackets += pkts
+	}
+}
+
+// AddsPerDay returns a copy of just the Fig 5 rollup — O(days),
+// without the per-hotspot maps the full Aggregates copy carries.
+func (s *Store) AddsPerDay() map[int64]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int64]int64, len(s.agg.AddsPerDay))
+	for k, v := range s.agg.AddsPerDay {
+		out[k] = v
+	}
+	return out
+}
+
+// Aggregates returns a deep copy of the materialized rollups.
+func (s *Store) Aggregates() Aggregates {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := Aggregates{
+		Mix:                 make(map[chain.TxnType]int64, len(s.agg.Mix)),
+		AddsPerDay:          make(map[int64]int64, len(s.agg.AddsPerDay)),
+		AssertsPerGateway:   make(map[string]int64, len(s.agg.AssertsPerGateway)),
+		TransfersPerGateway: make(map[string]int64, len(s.agg.TransfersPerGateway)),
+		Transfers:           s.agg.Transfers,
+		ZeroHNTTransfers:    s.agg.ZeroHNTTransfers,
+		Closes:              append([]ClosePoint(nil), s.agg.Closes...),
+		TotalPackets:        s.agg.TotalPackets,
+	}
+	for k, v := range s.agg.Mix {
+		out.Mix[k] = v
+	}
+	for k, v := range s.agg.AddsPerDay {
+		out.AddsPerDay[k] = v
+	}
+	for k, v := range s.agg.AssertsPerGateway {
+		out.AssertsPerGateway[k] = v
+	}
+	for k, v := range s.agg.TransfersPerGateway {
+		out.TransfersPerGateway[k] = v
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package etl
+
+import (
+	"fmt"
+	"sync"
+
+	"peoplesnet/internal/chain"
+)
+
+// Append ingests one block. Heights must be strictly increasing
+// (sparse is fine, matching the chain's contract). Blocks are shared,
+// not copied — they are immutable once minted.
+func (s *Store) Append(b *chain.Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.Height <= s.tip {
+		return fmt.Errorf("etl: block %d not beyond tip %d", b.Height, s.tip)
+	}
+	if s.first < 0 {
+		s.first = b.Height
+	}
+	s.tip = b.Height
+	s.pending = append(s.pending, b)
+	s.pendingTxns += int64(len(b.Txns))
+	for _, t := range b.Txns {
+		s.agg.observe(b.Height, t)
+	}
+	if len(s.pending) >= s.cfg.SegmentBlocks {
+		s.sealLocked()
+	}
+	s.grown.Broadcast()
+	return nil
+}
+
+// sealLocked indexes the pending buffer into a sealed segment. Caller
+// holds s.mu and guarantees pending is non-empty.
+func (s *Store) sealLocked() {
+	s.sealed = append(s.sealed, buildSegment(s.pending, s.cfg.IndexRewardEntries))
+	s.pending = nil
+	s.pendingTxns = 0
+}
+
+// BulkLoad ingests every block of c beyond the store's tip and adopts
+// the chain's ledger. The final partial segment is sealed too, so the
+// whole loaded history is indexed. Calling it again after the chain
+// has grown ingests only the new suffix.
+func (s *Store) BulkLoad(c *chain.Chain) error {
+	s.SetLedger(c.Ledger())
+	for _, b := range c.BlocksFrom(s.Height()) {
+		if err := s.Append(b); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	if len(s.pending) > 0 {
+		s.sealLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Follower streams a live chain into a store from a goroutine. It
+// catches up from the store's tip, then ingests each appended block
+// as the chain signals it.
+type Follower struct {
+	s      *Store
+	c      *chain.Chain
+	cancel func()
+	done   chan struct{}
+	once   sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// FollowChain attaches a follower to a live chain. The returned
+// Follower ingests concurrently with the chain's producer until
+// Close is called. The store adopts the chain's ledger.
+func (s *Store) FollowChain(c *chain.Chain) *Follower {
+	s.SetLedger(c.Ledger())
+	notify, cancel := c.Subscribe()
+	f := &Follower{s: s, c: c, cancel: cancel, done: make(chan struct{})}
+	go f.run(notify)
+	return f
+}
+
+func (f *Follower) run(notify <-chan struct{}) {
+	defer close(f.done)
+	// Catch-up pass; the subscription was registered first, so any
+	// block appended during it leaves a pending signal.
+	if !f.drain() {
+		return
+	}
+	for range notify {
+		if !f.drain() {
+			return
+		}
+	}
+}
+
+func (f *Follower) drain() bool {
+	for _, b := range f.c.BlocksFrom(f.s.Height()) {
+		if err := f.s.Append(b); err != nil {
+			f.mu.Lock()
+			f.err = err
+			f.mu.Unlock()
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops following, ingests any final suffix, and waits for the
+// follower goroutine to exit. It returns the first ingest error, if
+// any. Close is idempotent.
+func (f *Follower) Close() error {
+	f.once.Do(func() {
+		f.cancel() // closes the notify channel; run drains and exits
+		<-f.done
+		if f.Err() == nil {
+			f.drain() // blocks appended after the last signal we saw
+		}
+	})
+	return f.Err()
+}
+
+// Err returns the first ingest error encountered, if any.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

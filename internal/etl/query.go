@@ -1,0 +1,374 @@
+package etl
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peoplesnet/internal/chain"
+)
+
+// Range selects block heights [From, To], inclusive. To < 0 means the
+// current tip.
+type Range struct {
+	From, To int64
+}
+
+// All selects the whole chain.
+func All() Range { return Range{From: 0, To: -1} }
+
+// Filter restricts a scan. Empty fields match everything; Types and
+// Actors compose conjunctively (txn type must match AND the txn must
+// mention one of the actors).
+type Filter struct {
+	Types  []chain.TxnType
+	Actors []string
+}
+
+func (f Filter) empty() bool { return len(f.Types) == 0 && len(f.Actors) == 0 }
+
+// typeSet is nil when no type filter applies.
+func (f Filter) typeSet() map[chain.TxnType]bool {
+	if len(f.Types) == 0 {
+		return nil
+	}
+	set := make(map[chain.TxnType]bool, len(f.Types))
+	for _, tt := range f.Types {
+		set[tt] = true
+	}
+	return set
+}
+
+// typeMask packs the type filter into a bitmask over TxnType values so
+// a per-posting check is a single AND. Returns 0 when there is no type
+// filter or a value doesn't fit (callers then fall back to the map).
+func (f Filter) typeMask() uint64 {
+	var mask uint64
+	for _, tt := range f.Types {
+		if tt >= 64 {
+			return 0
+		}
+		mask |= 1 << tt
+	}
+	return mask
+}
+
+// view snapshots the segment list and pending buffer. Both are
+// append-only and their elements immutable, so iterating the snapshot
+// lock-free is safe, and user callbacks never run under the lock.
+func (s *Store) view() ([]*segment, []*chain.Block) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealed, s.pending
+}
+
+// Scan visits every transaction matching the range and filter in
+// height order, stopping early if fn returns false. Sealed segments
+// resolve through posting lists; only the pending buffer (at most one
+// segment's worth of blocks) is scanned linearly.
+func (s *Store) Scan(r Range, f Filter, fn func(height int64, t chain.Txn) bool) {
+	sealed, pending := s.view()
+	to := r.To
+	if to < 0 {
+		to = math.MaxInt64
+	}
+	types, mask := f.typeSet(), f.typeMask()
+	for _, g := range sealed {
+		if !g.overlaps(r.From, to) {
+			continue
+		}
+		if !scanSegment(g, r.From, to, f, types, mask, fn) {
+			return
+		}
+	}
+	scanBlocks(pending, r.From, to, f, types, fn)
+}
+
+// ScanParallel runs the same visit as Scan but fans segments out to a
+// worker pool. fn must be safe for concurrent calls and observes no
+// ordering; an fn returning false stops the scan (best effort across
+// workers). workers < 1 means one per segment up to 8.
+func (s *Store) ScanParallel(r Range, f Filter, workers int, fn func(height int64, t chain.Txn) bool) {
+	sealed, pending := s.view()
+	to := r.To
+	if to < 0 {
+		to = math.MaxInt64
+	}
+	types, mask := f.typeSet(), f.typeMask()
+	var units []func(visit func(int64, chain.Txn) bool) bool
+	for _, g := range sealed {
+		if g.overlaps(r.From, to) {
+			g := g
+			units = append(units, func(visit func(int64, chain.Txn) bool) bool {
+				return scanSegment(g, r.From, to, f, types, mask, visit)
+			})
+		}
+	}
+	if len(pending) > 0 {
+		units = append(units, func(visit func(int64, chain.Txn) bool) bool {
+			return scanBlocks(pending, r.From, to, f, types, visit)
+		})
+	}
+	if workers < 1 {
+		workers = len(units)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if len(units) == 0 {
+		return
+	}
+	var stopped atomic.Bool
+	visit := func(h int64, t chain.Txn) bool {
+		if stopped.Load() {
+			return false
+		}
+		if !fn(h, t) {
+			stopped.Store(true)
+			return false
+		}
+		return true
+	}
+	jobs := make(chan func(func(int64, chain.Txn) bool) bool)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				if stopped.Load() {
+					continue
+				}
+				u(visit)
+			}
+		}()
+	}
+	for _, u := range units {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// scanSegment visits a sealed segment through its indexes. Returns
+// false if fn stopped the scan. types/mask are f.typeSet() and
+// f.typeMask(), computed once by the caller.
+func scanSegment(g *segment, from, to int64, f Filter, types map[chain.TxnType]bool, mask uint64, fn func(int64, chain.Txn) bool) bool {
+	whole := g.from >= from && g.to <= to
+	inRange := func(h int64) bool { return whole || (h >= from && h <= to) }
+
+	if f.empty() {
+		blks := g.blocks
+		if !whole {
+			i := sort.Search(len(blks), func(i int) bool { return blks[i].Height >= from })
+			blks = blks[i:]
+		}
+		for _, b := range blks {
+			if b.Height > to {
+				return true
+			}
+			for _, t := range b.Txns {
+				if !fn(b.Height, t) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// emit resolves a matched posting. Only shared-list rewards still
+	// need the mention check — every other filter dimension has been
+	// decided on posting positions alone, without touching the block.
+	needMention := len(f.Actors) > 0 && len(g.shared) > 0
+	emit := func(p pos) bool {
+		b := g.blocks[p.blk]
+		if !inRange(b.Height) {
+			return b.Height <= to // past the range end: stop
+		}
+		t := b.Txns[p.txn]
+		if needMention && t.TxnType() == chain.TxnRewards && !mentionsAny(t, f.Actors) {
+			return true
+		}
+		return fn(b.Height, t)
+	}
+
+	if len(f.Actors) == 0 {
+		// Type postings are the answer; no per-posting checks needed.
+		var typeLists [][]pos
+		for tt := range types {
+			if ps := g.byType[tt]; len(ps) > 0 {
+				typeLists = append(typeLists, ps)
+			}
+		}
+		return mergePostings(typeLists, emit)
+	}
+
+	var actorLists [][]pos
+	for _, a := range f.Actors {
+		if ps := g.byActor[a]; len(ps) > 0 {
+			actorLists = append(actorLists, ps)
+		}
+	}
+	// Rewards parked on the shared list (fan-out suppressed) are
+	// merged in and filtered by inspecting their entries in emit.
+	if len(g.shared) > 0 && (types == nil || types[chain.TxnRewards]) {
+		actorLists = append(actorLists, g.shared)
+	}
+	switch {
+	case types == nil:
+		return mergePostings(actorLists, emit)
+	case mask != 0:
+		// Both dimensions: postings carry their txn type, so the type
+		// conjunction is a one-AND reject without loading the block.
+		return mergePostings(actorLists, func(p pos) bool {
+			if mask&(1<<p.tt) == 0 {
+				return true
+			}
+			return emit(p)
+		})
+	default:
+		return mergePostings(actorLists, func(p pos) bool {
+			if !types[p.tt] {
+				return true
+			}
+			return emit(p)
+		})
+	}
+}
+
+// scanBlocks linearly visits unindexed blocks with the filter applied.
+func scanBlocks(blocks []*chain.Block, from, to int64, f Filter, types map[chain.TxnType]bool, fn func(int64, chain.Txn) bool) bool {
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i].Height >= from })
+	for _, b := range blocks[i:] {
+		if b.Height > to {
+			return true
+		}
+		for _, t := range b.Txns {
+			if types != nil && !types[t.TxnType()] {
+				continue
+			}
+			if len(f.Actors) > 0 && !mentionsAny(t, f.Actors) {
+				continue
+			}
+			if !fn(b.Height, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mentionsAny(t chain.Txn, actors []string) bool {
+	for _, a := range actors {
+		if mentionsActor(t, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- height ↔ time range index -------------------------------------------
+
+// TimeAt returns the timestamp of the first block at or after height.
+func (s *Store) TimeAt(height int64) (time.Time, bool) {
+	sealed, pending := s.view()
+	i := sort.Search(len(sealed), func(i int) bool { return sealed[i].to >= height })
+	if i < len(sealed) {
+		blks := sealed[i].blocks
+		j := sort.Search(len(blks), func(j int) bool { return blks[j].Height >= height })
+		if j < len(blks) {
+			return blks[j].Timestamp, true
+		}
+	}
+	j := sort.Search(len(pending), func(j int) bool { return pending[j].Height >= height })
+	if j < len(pending) {
+		return pending[j].Timestamp, true
+	}
+	return time.Time{}, false
+}
+
+// HeightAt returns the height of the last block with a timestamp at
+// or before t (-1 if the store starts later).
+func (s *Store) HeightAt(t time.Time) int64 {
+	sealed, pending := s.view()
+	best := int64(-1)
+	// Last segment that starts at or before t.
+	i := sort.Search(len(sealed), func(i int) bool { return sealed[i].fromTime.After(t) })
+	if i > 0 {
+		blks := sealed[i-1].blocks
+		j := sort.Search(len(blks), func(j int) bool { return blks[j].Timestamp.After(t) })
+		if j > 0 {
+			best = blks[j-1].Height
+		}
+	}
+	j := sort.Search(len(pending), func(j int) bool { return pending[j].Timestamp.After(t) })
+	if j > 0 && pending[j-1].Height > best {
+		best = pending[j-1].Height
+	}
+	return best
+}
+
+// --- tail subscription ----------------------------------------------------
+
+// Tail is a pull-based subscription over the store's block sequence:
+// it replays every block after its start height, then blocks until
+// new ones are ingested. Unlike a channel feed it can never drop a
+// block, however slow the consumer.
+type Tail struct {
+	s      *Store
+	after  int64
+	closed bool // guarded by s.mu
+}
+
+// Follow returns a tail positioned after the given height (use -1 to
+// replay everything, or Height() to receive only new blocks).
+func (s *Store) Follow(after int64) *Tail {
+	return &Tail{s: s, after: after}
+}
+
+// Next returns the next block, blocking until one is available. It
+// returns false after Close.
+func (t *Tail) Next() (*chain.Block, bool) {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t.closed {
+			return nil, false
+		}
+		if b := s.blockAfterLocked(t.after); b != nil {
+			t.after = b.Height
+			return b, true
+		}
+		s.grown.Wait()
+	}
+}
+
+// Close unblocks any pending Next, which then returns false.
+func (t *Tail) Close() {
+	t.s.mu.Lock()
+	t.closed = true
+	t.s.mu.Unlock()
+	t.s.grown.Broadcast()
+}
+
+func (s *Store) blockAfterLocked(after int64) *chain.Block {
+	i := sort.Search(len(s.sealed), func(i int) bool { return s.sealed[i].to > after })
+	if i < len(s.sealed) {
+		blks := s.sealed[i].blocks
+		j := sort.Search(len(blks), func(j int) bool { return blks[j].Height > after })
+		if j < len(blks) {
+			return blks[j]
+		}
+	}
+	j := sort.Search(len(s.pending), func(j int) bool { return s.pending[j].Height > after })
+	if j < len(s.pending) {
+		return s.pending[j]
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package etl
+
+import (
+	"time"
+
+	"peoplesnet/internal/chain"
+)
+
+// pos addresses one transaction inside a segment: block index, txn
+// index, plus the transaction's type so filters can reject a posting
+// without loading the block. Posting lists are sorted by (blk, txn),
+// which is chain order.
+type pos struct {
+	blk, txn int32
+	tt       chain.TxnType
+}
+
+// segment is an immutable run of consecutive blocks plus its
+// secondary indexes. Once sealed nothing in it changes, so readers
+// never lock.
+type segment struct {
+	blocks           []*chain.Block
+	from, to         int64 // block heights (inclusive)
+	fromTime, toTime time.Time
+	txns             int64
+	mix              map[chain.TxnType]int64
+	byType           map[chain.TxnType][]pos
+	byActor          map[string][]pos
+	// shared holds postings of transactions whose actor fan-out was
+	// suppressed (rewards when Config.IndexRewardEntries is false).
+	// Actor queries merge it in and filter by inspecting entries.
+	shared []pos
+}
+
+func buildSegment(blocks []*chain.Block, indexRewards bool) *segment {
+	g := &segment{
+		blocks:   blocks,
+		from:     blocks[0].Height,
+		to:       blocks[len(blocks)-1].Height,
+		fromTime: blocks[0].Timestamp,
+		toTime:   blocks[len(blocks)-1].Timestamp,
+		mix:      make(map[chain.TxnType]int64),
+		byType:   make(map[chain.TxnType][]pos),
+		byActor:  make(map[string][]pos),
+	}
+	var seen []string // per-txn dedupe scratch
+	for bi, b := range blocks {
+		for ti, t := range b.Txns {
+			tt := t.TxnType()
+			p := pos{blk: int32(bi), txn: int32(ti), tt: tt}
+			g.txns++
+			g.mix[tt]++
+			g.byType[tt] = append(g.byType[tt], p)
+			if tt == chain.TxnRewards && !indexRewards {
+				g.shared = append(g.shared, p)
+				continue
+			}
+			seen = seen[:0]
+			actorsOf(t, func(a string) {
+				if a == "" {
+					return
+				}
+				for _, prev := range seen {
+					if prev == a {
+						return
+					}
+				}
+				seen = append(seen, a)
+				g.byActor[a] = append(g.byActor[a], p)
+			})
+		}
+	}
+	return g
+}
+
+func (g *segment) overlaps(from, to int64) bool {
+	return g.to >= from && g.from <= to
+}
+
+// actorsOf emits every address a transaction mentions — the actors
+// whose timelines it belongs on.
+func actorsOf(t chain.Txn, emit func(string)) {
+	switch v := t.(type) {
+	case *chain.AddGateway:
+		emit(v.Gateway)
+		emit(v.Owner)
+	case *chain.AssertLocation:
+		emit(v.Gateway)
+		emit(v.Owner)
+	case *chain.TransferHotspot:
+		emit(v.Gateway)
+		emit(v.Seller)
+		emit(v.Buyer)
+	case *chain.PoCRequest:
+		emit(v.Challenger)
+	case *chain.PoCReceipt:
+		emit(v.Challenger)
+		emit(v.Challengee)
+		for i := range v.Witnesses {
+			emit(v.Witnesses[i].Witness)
+		}
+	case *chain.StateChannelOpen:
+		emit(v.Owner)
+	case *chain.StateChannelClose:
+		emit(v.Owner)
+		for i := range v.Summaries {
+			emit(v.Summaries[i].Hotspot)
+		}
+	case *chain.Payment:
+		emit(v.Payer)
+		emit(v.Payee)
+	case *chain.TokenBurn:
+		emit(v.Payer)
+		emit(v.Destination)
+	case *chain.OUIRegistration:
+		emit(v.Owner)
+	case *chain.Rewards:
+		for i := range v.Entries {
+			emit(v.Entries[i].Account)
+			emit(v.Entries[i].Gateway)
+		}
+	case *chain.ConsensusGroup:
+		for _, m := range v.Members {
+			emit(m)
+		}
+	case *chain.RoutingUpdate:
+		emit(v.Owner)
+	case *chain.StakeValidator:
+		emit(v.Owner)
+		emit(v.Validator)
+	case *chain.DCCoinbase:
+		emit(v.Payee)
+	case *chain.SecurityCoinbase:
+		emit(v.Payee)
+	}
+}
+
+// mentionsActor reports whether t names the actor — used to filter
+// shared postings exactly.
+func mentionsActor(t chain.Txn, actor string) bool {
+	found := false
+	actorsOf(t, func(a string) {
+		if a == actor {
+			found = true
+		}
+	})
+	return found
+}
+
+// mergePostings iterates the union of sorted posting lists in chain
+// order, skipping duplicate positions, until fn returns false. It
+// returns false if fn stopped early.
+func mergePostings(lists [][]pos, fn func(p pos) bool) bool {
+	switch len(lists) {
+	case 0:
+		return true
+	case 1:
+		// Common case (single type or actor): no merge state at all.
+		for _, p := range lists[0] {
+			if !fn(p) {
+				return false
+			}
+		}
+		return true
+	}
+	idx := make([]int, len(lists))
+	last := pos{blk: -1, txn: -1}
+	for {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[idx[i]], lists[best][idx[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		p := lists[best][idx[best]]
+		idx[best]++
+		if p == last {
+			continue
+		}
+		last = p
+		if !fn(p) {
+			return false
+		}
+	}
+}
+
+func less(a, b pos) bool {
+	if a.blk != b.blk {
+		return a.blk < b.blk
+	}
+	return a.txn < b.txn
+}

@@ -371,7 +371,7 @@ func TestFCntAdvanceRedelivers(t *testing.T) {
 	for fcnt := uint16(1); fcnt <= 3; fcnt++ {
 		wire := uplink(addr, keys, fcnt, false, []byte{byte(fcnt)})
 		p, _ := r.OfferPacket(statechannel.Offer{
-			Hotspot: "hs", PacketID: string(rune('p'+fcnt)), Bytes: len(wire), DevAddr: uint32(addr),
+			Hotspot: "hs", PacketID: string(rune('p' + fcnt)), Bytes: len(wire), DevAddr: uint32(addr),
 		})
 		r.ReleasePacket(p, wire)
 	}

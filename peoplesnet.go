@@ -26,6 +26,7 @@ import (
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/core"
 	"peoplesnet/internal/coverage"
+	"peoplesnet/internal/etl"
 	"peoplesnet/internal/fieldtest"
 	"peoplesnet/internal/geo"
 	"peoplesnet/internal/simnet"
@@ -70,8 +71,24 @@ type Study struct {
 }
 
 // Measure runs every chain/p2p/IP analysis of §3–§7 over the world.
+// The chain is first loaded into an internal ETL store (the stand-in
+// for the DeWi ETL service the paper queried), so the analyses resolve
+// through its indexes and materialized aggregates rather than raw
+// block scans. MeasureDirect skips the indexing.
 func Measure(w *World) *Study {
 	d := core.FromSimulation(w)
+	d.Chain = etl.FromChain(w.Chain).View()
+	return measure(d, w)
+}
+
+// MeasureDirect runs the same suite with full chain scans instead of
+// the ETL indexes — mainly useful for benchmarking one against the
+// other.
+func MeasureDirect(w *World) *Study {
+	return measure(core.FromSimulation(w), w)
+}
+
+func measure(d *core.Dataset, w *World) *Study {
 	return &Study{
 		Dataset:   d,
 		World:     w,
