@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet check
+.PHONY: build test race bench fmt vet check recovery fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build race
+# Crash-recovery matrix: every mutating I/O op of the ingest workload
+# becomes a crash site (plus torn writes and bit flips); recovery must
+# be lossless or an explicitly quarantined gap that Repair closes.
+recovery:
+	$(GO) test -race -run 'Durable|Reopen|CrashRecovery|BitFlip|Sidecar|Follower|AppendNonContiguous' ./internal/etl/
+
+# Ten seconds of coverage-guided fuzzing over the chain binary codec:
+# arbitrary bytes must decode-or-error, never panic.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDecodeBlock -fuzztime 10s -run xxx ./internal/chain/
+
+check: fmt vet build race recovery fuzz-smoke

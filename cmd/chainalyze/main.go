@@ -6,6 +6,7 @@
 // Usage:
 //
 //	chainalyze chain.jsonl
+//	chainalyze -store ./etl-store chain.jsonl   # reuse the durable index across runs
 package main
 
 import (
@@ -23,9 +24,10 @@ import (
 func main() {
 	pocWeight := flag.Float64("poc-weight", 600, "notional transactions per sampled PoC receipt")
 	fullscan := flag.Bool("fullscan", false, "scan raw blocks instead of building the ETL index")
+	storeDir := flag.String("store", "", "durable ETL store directory: reloaded if present, created and caught up otherwise")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: chainalyze [-poc-weight N] [-fullscan] <chain.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: chainalyze [-poc-weight N] [-fullscan] [-store DIR] <chain.jsonl>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -40,7 +42,34 @@ func main() {
 		os.Exit(1)
 	}
 	d := &core.Dataset{Chain: c, PoCWeight: *pocWeight}
-	if !*fullscan {
+	switch {
+	case *storeDir != "":
+		start := time.Now()
+		store, err := etl.Open(*storeDir, etl.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chainalyze: store:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		reloaded := store.Height()
+		opened := time.Since(start)
+		if gaps := store.Gaps(); len(gaps) > 0 {
+			fmt.Printf("store: %d quarantined range(s) %v — repairing from chain file\n", len(gaps), gaps)
+			if err := store.Repair(c); err != nil {
+				fmt.Fprintln(os.Stderr, "chainalyze: store repair:", err)
+				os.Exit(1)
+			}
+		}
+		if err := store.BulkLoad(c); err != nil {
+			fmt.Fprintln(os.Stderr, "chainalyze: store load:", err)
+			os.Exit(1)
+		}
+		h := store.Health()
+		fmt.Printf("store: %s reloaded to height %d in %v, caught up to %d (%d segments, %d WAL blocks)\n",
+			*storeDir, reloaded, opened.Round(time.Millisecond), store.Height(),
+			h.Segments, h.WALDepth)
+		d.Chain = store.View()
+	case !*fullscan:
 		start := time.Now()
 		store := etl.FromChain(c)
 		st := store.Stats()

@@ -9,13 +9,15 @@
 //	GET /hotspots/{addr}  one hotspot
 //	GET /coverage         Fig 12 model percentages (JSON)
 //	GET /report           plain-text measurement report
-//	GET /etl              ETL store shape: segments, postings, rollups
+//	GET /etl              ETL store shape: segments, postings, rollups,
+//	                      store health (WAL depth, quarantine, last append)
 //	GET /txns             indexed transaction search
 //	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50)
 //
 // Usage:
 //
 //	explorer -listen :8080 -scale small -seed 42
+//	explorer -store ./etl-store   # durable index, reloaded across restarts
 package main
 
 import (
@@ -38,6 +40,9 @@ type server struct {
 	world *peoplesnet.World
 	study *peoplesnet.Study
 	store *etl.Store
+	// follower is non-nil when the store is durable (-store): the live
+	// tail whose first ingest error /etl surfaces.
+	follower *etl.Follower
 }
 
 type hotspotJSON struct {
@@ -146,7 +151,7 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 	for tt, n := range agg.Mix {
 		mix[tt.String()] = n
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"blocks":          st.Blocks,
 		"txns":            st.Txns,
 		"segments":        st.Segments,
@@ -160,7 +165,14 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 		"transfers":       agg.Transfers,
 		"total_packets":   agg.TotalPackets,
 		"segment_ranges":  s.store.Segments(),
-	})
+		"health":          s.store.Health(),
+	}
+	if s.follower != nil {
+		if err := s.follower.Err(); err != nil {
+			resp["follower_error"] = err.Error()
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // handleTxns serves indexed transaction search over the ETL store.
@@ -229,9 +241,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
-		seed   = flag.Uint64("seed", 1, "world seed")
-		scale  = flag.String("scale", "small", "small | paper")
+		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
+		seed     = flag.Uint64("seed", 1, "world seed")
+		scale    = flag.String("scale", "small", "small | paper")
+		storeDir = flag.String("store", "", "durable ETL store directory; must come from the same seed and scale")
 	)
 	flag.Parse()
 
@@ -244,7 +257,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{world: world, study: peoplesnet.Measure(world), store: etl.FromChain(world.Chain)}
+	s := &server{world: world, study: peoplesnet.Measure(world)}
+	if *storeDir != "" {
+		store, err := etl.Open(*storeDir, etl.Config{})
+		if err != nil {
+			log.Fatal("store: ", err)
+		}
+		log.Printf("store: reloaded %s to height %d (%d segments, %d quarantined)",
+			*storeDir, store.Height(), store.Health().Segments, store.Health().Quarantined)
+		if err := store.Repair(world.Chain); err != nil {
+			log.Printf("store: repair: %v (serving with gaps; see /etl)", err)
+		}
+		s.store = store
+		s.follower = store.FollowChain(world.Chain)
+	} else {
+		s.store = etl.FromChain(world.Chain)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)

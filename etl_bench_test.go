@@ -9,6 +9,8 @@ package peoplesnet
 // bench_test.go.
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -244,6 +246,104 @@ func BenchmarkETLScan_Sequential(b *testing.B) {
 		s.Scan(etl.All(), etl.Filter{}, func(int64, chain.Txn) bool { n++; return true })
 		if n == 0 {
 			b.Fatal("empty scan")
+		}
+	}
+}
+
+// --- cold start: durable reload vs re-index --------------------------------
+
+// Cold start is the paper's "ETL replica restart" cost: how long until
+// the analyses can query again after the process dies. The reindex
+// path replays the chain file and rebuilds every posting list; the
+// reload path mmap-free reads the sealed segment files plus their
+// index sidecars and merges per-segment aggregates — no per-txn work.
+// Both start from disk, nothing cached in the process.
+
+var (
+	coldOnce     sync.Once
+	coldChainPth string
+	coldStoreDir string
+	coldErr      error
+)
+
+// coldFixtures writes the bench world's chain to a JSON-lines file and
+// builds a durable store from it, once, under a shared temp dir.
+func coldFixtures(b *testing.B) (chainPath, storeDir string) {
+	w, _ := world(b)
+	coldOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "peoplesnet-coldstart")
+		if err != nil {
+			coldErr = err
+			return
+		}
+		coldChainPth = filepath.Join(dir, "chain.jsonl")
+		coldStoreDir = filepath.Join(dir, "store")
+		f, err := os.Create(coldChainPth)
+		if err != nil {
+			coldErr = err
+			return
+		}
+		if _, err := w.Chain.WriteTo(f); err != nil {
+			f.Close()
+			coldErr = err
+			return
+		}
+		if coldErr = f.Close(); coldErr != nil {
+			return
+		}
+		s, err := etl.Open(coldStoreDir, etl.Config{})
+		if err != nil {
+			coldErr = err
+			return
+		}
+		if coldErr = s.BulkLoad(w.Chain); coldErr != nil {
+			return
+		}
+		coldErr = s.Close()
+	})
+	if coldErr != nil {
+		b.Fatal(coldErr)
+	}
+	return coldChainPth, coldStoreDir
+}
+
+func BenchmarkETLColdStart_Reindex(b *testing.B) {
+	chainPath, _ := coldFixtures(b)
+	want := benchRes.Chain.Height()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(chainPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := chain.ReadChain(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := etl.FromChain(c); s.Height() != want {
+			b.Fatalf("reindexed to %d, want %d", s.Height(), want)
+		}
+	}
+}
+
+func BenchmarkETLColdStart_Reload(b *testing.B) {
+	_, storeDir := coldFixtures(b)
+	want := benchRes.Chain.Height()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := etl.Open(storeDir, etl.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h := s.Health(); h.Quarantined > 0 || len(h.Gaps) > 0 {
+			b.Fatalf("unexpected damage on reload: %+v", h)
+		}
+		if s.Height() != want {
+			b.Fatalf("reloaded to %d, want %d", s.Height(), want)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

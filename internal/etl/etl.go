@@ -30,6 +30,7 @@ package etl
 
 import (
 	"sync"
+	"time"
 
 	"peoplesnet/internal/chain"
 )
@@ -54,6 +55,10 @@ type Config struct {
 	// rewards land on a per-segment shared list and actor queries
 	// filter them by inspecting entries — exact either way.
 	IndexRewardEntries bool
+	// FS is the filesystem a durable store (Open) drives. nil means
+	// the host filesystem; tests inject internal/faultfs here. Memory
+	// stores (New, FromChain) ignore it.
+	FS FS
 }
 
 // Store is the indexed block store. One goroutine may ingest
@@ -73,6 +78,9 @@ type Store struct {
 	pendingTxns int64
 	first, tip  int64 // block heights; -1 while empty
 	agg         *aggregates
+	lastAppend  time.Time
+	// dur is the persistence state; nil for a memory-only store.
+	dur *durable
 }
 
 // New returns an empty store.

@@ -564,3 +564,54 @@ func TestFollowChainLive(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 }
+
+func TestScanParallelAutoPick(t *testing.T) {
+	c := worldChain(t, 60)
+	s := New(Config{SegmentBlocks: 16})
+	if err := s.BulkLoad(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store this small is below the crossover, so workers=0 must
+	// take the sequential path — observable through its ordering
+	// guarantee, which the worker pool does not make.
+	var got, want []txnRef
+	s.Scan(All(), Filter{}, func(h int64, tx chain.Txn) bool {
+		want = append(want, txnRef{h, chain.Hash(tx)})
+		return true
+	})
+	s.ScanParallel(All(), Filter{}, 0, func(h int64, tx chain.Txn) bool {
+		got = append(got, txnRef{h, chain.Hash(tx)})
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("auto ScanParallel below crossover is not the ordered sequential visit")
+	}
+
+	if w := autoWorkers(s.sealed, Filter{}); w != 1 {
+		t.Errorf("autoWorkers(small store) = %d, want 1", w)
+	}
+
+	// Many fat segments clear both bars on an unfiltered scan.
+	fat := make([]*segment, 12)
+	for i := range fat {
+		fat[i] = &segment{txns: 1 << 16}
+	}
+	if w := autoWorkers(fat, Filter{}); w != 8 {
+		t.Errorf("autoWorkers(fat, unfiltered) = %d, want 8", w)
+	}
+	// A narrow actor filter matches almost nothing: sequential.
+	if w := autoWorkers(fat, Filter{Actors: []string{"hs-0"}}); w != 1 {
+		t.Errorf("autoWorkers(fat, narrow actor) = %d, want 1", w)
+	}
+	// A conjunctive filter is bounded by its smaller dimension.
+	for i := range fat {
+		fat[i].byType = map[chain.TxnType][]pos{chain.TxnPayment: make([]pos, 1<<15)}
+	}
+	if w := autoWorkers(fat, Filter{Types: []chain.TxnType{chain.TxnPayment}, Actors: []string{"hs-0"}}); w != 1 {
+		t.Errorf("autoWorkers(fat, type∧actor) = %d, want 1", w)
+	}
+	if w := autoWorkers(fat, Filter{Types: []chain.TxnType{chain.TxnPayment}}); w != 8 {
+		t.Errorf("autoWorkers(fat, hot type) = %d, want 8", w)
+	}
+}

@@ -1,0 +1,85 @@
+package etl
+
+// FS is the narrow filesystem surface the durable store drives. All
+// store I/O flows through it, so tests can substitute a fault-
+// injecting implementation (internal/faultfs) and crash the store at
+// any byte without touching the OS. The production implementation is
+// OSFS.
+//
+// Durability contract the store relies on:
+//
+//   - File.Sync flushes written data to stable storage.
+//   - Rename atomically replaces newname (the classic
+//     write-tmp-then-rename publish).
+//   - Append-opened files write at the end.
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the injectable filesystem.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Rename atomically moves oldname to newname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// OSFS is the passthrough FS over package os.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+// IsNotExist reports whether err means a missing file, for any FS.
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// join builds an FS path; kept here so FS implementations can assume
+// platform-native separators.
+func join(elem ...string) string { return filepath.Join(elem...) }

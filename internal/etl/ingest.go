@@ -1,20 +1,40 @@
 package etl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"peoplesnet/internal/chain"
 )
 
+// ErrStaleHeight reports an Append at or below the store's tip. The
+// store is append-only and never silently skips: callers replaying a
+// source must filter by Height() first or treat this as permanent.
+var ErrStaleHeight = errors.New("etl: block height not beyond tip")
+
 // Append ingests one block. Heights must be strictly increasing
 // (sparse is fine, matching the chain's contract). Blocks are shared,
 // not copied — they are immutable once minted.
+//
+// For a durable store the block is written to the WAL and fsynced
+// before it is accepted; a *PersistError return means the store is
+// unchanged and the same block may be retried once the fault clears.
 func (s *Store) Append(b *chain.Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(b)
+}
+
+func (s *Store) appendLocked(b *chain.Block) error {
 	if b.Height <= s.tip {
-		return fmt.Errorf("etl: block %d not beyond tip %d", b.Height, s.tip)
+		return fmt.Errorf("%w: block %d not beyond tip %d", ErrStaleHeight, b.Height, s.tip)
+	}
+	if s.dur != nil {
+		if err := s.durAppendLocked(b); err != nil {
+			return err
+		}
 	}
 	if s.first < 0 {
 		s.first = b.Height
@@ -25,6 +45,7 @@ func (s *Store) Append(b *chain.Block) error {
 	for _, t := range b.Txns {
 		s.agg.observe(b.Height, t)
 	}
+	s.lastAppend = time.Now()
 	if len(s.pending) >= s.cfg.SegmentBlocks {
 		s.sealLocked()
 	}
@@ -33,11 +54,16 @@ func (s *Store) Append(b *chain.Block) error {
 }
 
 // sealLocked indexes the pending buffer into a sealed segment. Caller
-// holds s.mu and guarantees pending is non-empty.
+// holds s.mu and guarantees pending is non-empty. A durable store
+// publishes the segment and shrinks the WAL; publish failures are
+// absorbed (the blocks stay WAL-durable) and retried later.
 func (s *Store) sealLocked() {
 	s.sealed = append(s.sealed, buildSegment(s.pending, s.cfg.IndexRewardEntries))
 	s.pending = nil
 	s.pendingTxns = 0
+	if s.dur != nil {
+		s.durSealLocked()
+	}
 }
 
 // BulkLoad ingests every block of c beyond the store's tip and adopts
@@ -67,11 +93,22 @@ type Follower struct {
 	c      *chain.Chain
 	cancel func()
 	done   chan struct{}
+	stop   chan struct{} // closed by Close; interrupts retry backoff
 	once   sync.Once
 
 	mu  sync.Mutex
 	err error
 }
+
+// Transient persistence faults back off and retry rather than killing
+// a live tail; the source chain retains every block, so a retried
+// ingest loses nothing. Anything else (a stale height, a closed
+// store) is permanent.
+const (
+	followerMaxRetries = 8
+	followerBaseDelay  = time.Millisecond
+	followerMaxDelay   = 200 * time.Millisecond
+)
 
 // FollowChain attaches a follower to a live chain. The returned
 // Follower ingests concurrently with the chain's producer until
@@ -79,7 +116,7 @@ type Follower struct {
 func (s *Store) FollowChain(c *chain.Chain) *Follower {
 	s.SetLedger(c.Ledger())
 	notify, cancel := c.Subscribe()
-	f := &Follower{s: s, c: c, cancel: cancel, done: make(chan struct{})}
+	f := &Follower{s: s, c: c, cancel: cancel, done: make(chan struct{}), stop: make(chan struct{})}
 	go f.run(notify)
 	return f
 }
@@ -100,7 +137,7 @@ func (f *Follower) run(notify <-chan struct{}) {
 
 func (f *Follower) drain() bool {
 	for _, b := range f.c.BlocksFrom(f.s.Height()) {
-		if err := f.s.Append(b); err != nil {
+		if err := f.ingest(b); err != nil {
 			f.mu.Lock()
 			f.err = err
 			f.mu.Unlock()
@@ -110,12 +147,34 @@ func (f *Follower) drain() bool {
 	return true
 }
 
+// ingest appends one block, retrying transient persistence faults
+// with exponential backoff. Close interrupts the backoff.
+func (f *Follower) ingest(b *chain.Block) error {
+	delay := followerBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := f.s.Append(b)
+		var pe *PersistError
+		if err == nil || !errors.As(err, &pe) || attempt >= followerMaxRetries {
+			return err
+		}
+		select {
+		case <-f.stop:
+			return err
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > followerMaxDelay {
+			delay = followerMaxDelay
+		}
+	}
+}
+
 // Close stops following, ingests any final suffix, and waits for the
 // follower goroutine to exit. It returns the first ingest error, if
 // any. Close is idempotent.
 func (f *Follower) Close() error {
 	f.once.Do(func() {
-		f.cancel() // closes the notify channel; run drains and exits
+		close(f.stop) // unblock any retry backoff
+		f.cancel()    // closes the notify channel; run drains and exits
 		<-f.done
 		if f.Err() == nil {
 			f.drain() // blocks appended after the last signal we saw

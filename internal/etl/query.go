@@ -89,33 +89,47 @@ func (s *Store) Scan(r Range, f Filter, fn func(height int64, t chain.Txn) bool)
 // ScanParallel runs the same visit as Scan but fans segments out to a
 // worker pool. fn must be safe for concurrent calls and observes no
 // ordering; an fn returning false stops the scan (best effort across
-// workers). workers < 1 means one per segment up to 8.
+// workers).
+//
+// workers <= 0 auto-picks: the posting lists and segment counters
+// estimate how many transactions the filter will actually match, and
+// a scan below the dispatch crossover (few segments, or little
+// matched work — see EXPERIMENTS.md "Parallel scan") runs
+// sequentially instead of paying per-segment dispatch. Callers should
+// pass 0 unless they have measured a better choice.
 func (s *Store) ScanParallel(r Range, f Filter, workers int, fn func(height int64, t chain.Txn) bool) {
 	sealed, pending := s.view()
 	to := r.To
 	if to < 0 {
 		to = math.MaxInt64
 	}
-	types, mask := f.typeSet(), f.typeMask()
-	var units []func(visit func(int64, chain.Txn) bool) bool
+	var overlapping []*segment
 	for _, g := range sealed {
 		if g.overlaps(r.From, to) {
-			g := g
-			units = append(units, func(visit func(int64, chain.Txn) bool) bool {
-				return scanSegment(g, r.From, to, f, types, mask, visit)
-			})
+			overlapping = append(overlapping, g)
 		}
+	}
+	if workers <= 0 {
+		workers = autoWorkers(overlapping, f)
+		if workers <= 1 {
+			// Below the crossover the ordered sequential visit is
+			// strictly better: faster and deterministic.
+			s.Scan(r, f, fn)
+			return
+		}
+	}
+	types, mask := f.typeSet(), f.typeMask()
+	var units []func(visit func(int64, chain.Txn) bool) bool
+	for _, g := range overlapping {
+		g := g
+		units = append(units, func(visit func(int64, chain.Txn) bool) bool {
+			return scanSegment(g, r.From, to, f, types, mask, visit)
+		})
 	}
 	if len(pending) > 0 {
 		units = append(units, func(visit func(int64, chain.Txn) bool) bool {
 			return scanBlocks(pending, r.From, to, f, types, visit)
 		})
-	}
-	if workers < 1 {
-		workers = len(units)
-		if workers > 8 {
-			workers = 8
-		}
 	}
 	if workers > len(units) {
 		workers = len(units)
@@ -153,6 +167,67 @@ func (s *Store) ScanParallel(r Range, f Filter, workers int, fn func(height int6
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// The parallel crossover. Measured at 1/20 paper scale (EXPERIMENTS.md
+// "Parallel scan"), a full sequential visit of ~31k txns beats the
+// 8-worker pool ~3×: per-segment dispatch overhead needs enough
+// matched transactions per segment to amortize. Paper scale (~20×)
+// clears both bars on unfiltered and type-filtered scans; narrow
+// actor queries stay sequential at any scale, which is also right —
+// their posting lists are short.
+const (
+	scanParallelMinSegments = 4
+	scanParallelMinTxns     = 1 << 18
+)
+
+// autoWorkers sizes the pool from the work the filter will actually
+// match, estimated from index counters without touching any block.
+func autoWorkers(segs []*segment, f Filter) int {
+	if len(segs) < scanParallelMinSegments {
+		return 1
+	}
+	var est int64
+	for _, g := range segs {
+		est += estimateMatched(g, f)
+	}
+	if est < scanParallelMinTxns {
+		return 1
+	}
+	w := len(segs)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// estimateMatched bounds how many of g's transactions the filter can
+// match. Conjunctive filters take the smaller dimension.
+func estimateMatched(g *segment, f Filter) int64 {
+	if f.empty() {
+		return g.txns
+	}
+	byType, byActor := int64(-1), int64(-1)
+	if len(f.Types) > 0 {
+		byType = 0
+		for _, tt := range f.Types {
+			byType += int64(len(g.byType[tt]))
+		}
+	}
+	if len(f.Actors) > 0 {
+		byActor = int64(len(g.shared))
+		for _, a := range f.Actors {
+			byActor += int64(len(g.byActor[a]))
+		}
+	}
+	switch {
+	case byType < 0:
+		return byActor
+	case byActor < 0 || byType < byActor:
+		return byType
+	default:
+		return byActor
+	}
 }
 
 // scanSegment visits a sealed segment through its indexes. Returns

@@ -1,0 +1,306 @@
+package etl
+
+// Open reloads a durable store from its directory in one pass,
+// degrading instead of failing: damaged segment files are quarantined
+// and reported as Gaps, a torn WAL tail is truncated, a corrupted WAL
+// body becomes an open-ended Gap. Repair closes gaps from the source
+// chain.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"peoplesnet/internal/chain"
+)
+
+// Open loads (or initializes) the durable store rooted at dir. It
+// never fails on corrupt contents — those are quarantined and surfaced
+// through Health and Gaps — only on an unusable directory. cfg.FS
+// selects the filesystem (nil means the host's).
+func Open(dir string, cfg Config) (*Store, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("etl: open %s: %w", dir, err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("etl: open %s: %w", dir, err)
+	}
+
+	s := New(cfg)
+	d := &durable{fs: fsys, dir: dir, wal: newWAL(fsys, join(dir, walFileName))}
+	s.dur = d
+
+	// Leftover tmp files are unpublished writes from a crash; the
+	// published state never references them.
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			fsys.Remove(join(dir, name))
+		}
+	}
+
+	// Segment files load in name order, which is height order. A file
+	// that fails any check is quarantined whole: the store comes up
+	// without its range and reports it as a Gap.
+	lastTo := int64(-1)
+	for _, name := range names {
+		from, to, ok := parseSegFileName(name)
+		if !ok {
+			continue
+		}
+		g, c, err := d.loadSegment(name, from, to, s.cfg.IndexRewardEntries)
+		if err == nil && from <= lastTo {
+			err = fmt.Errorf("range [%d,%d] overlaps previous segment ending %d", from, to, lastTo)
+		}
+		if err != nil {
+			d.quarantine(name, from, to, err)
+			continue
+		}
+		s.sealed = append(s.sealed, g)
+		s.agg.addSegment(g, c)
+		lastTo = to
+	}
+	d.persisted = len(s.sealed)
+
+	// The WAL holds the unsealed tail. Records at or below the sealed
+	// high-water mark are blocks a crash caught between segment publish
+	// and WAL reset — already durable, skipped by height.
+	scan := readWAL(fsys, d.wal.path)
+	d.walRecovery = scan.note
+	for _, b := range scan.blocks {
+		if b.Height <= lastTo {
+			continue
+		}
+		s.pending = append(s.pending, b)
+		s.pendingTxns += int64(len(b.Txns))
+		for _, t := range b.Txns {
+			s.agg.observe(b.Height, t)
+		}
+	}
+
+	if len(s.sealed) > 0 {
+		s.first = s.sealed[0].from
+		s.tip = s.sealed[len(s.sealed)-1].to
+	}
+	if n := len(s.pending); n > 0 {
+		if s.first < 0 {
+			s.first = s.pending[0].Height
+		}
+		s.tip = s.pending[n-1].Height
+	}
+	if scan.corrupt {
+		// Everything after the last good record is untrustworthy; the
+		// true tail height is unknowable from local state alone.
+		d.gaps = append(d.gaps, Gap{From: s.tip + 1, To: -1})
+	}
+
+	// Canonicalize the tail: a WAL big enough to seal seals now (the
+	// crash beat the seal to disk), and the log is rewritten to exactly
+	// the surviving pending blocks, which also drops any torn tail.
+	if len(s.pending) >= s.cfg.SegmentBlocks {
+		s.sealLocked() // persists and resets the WAL via durSealLocked
+	} else if err := d.wal.reset(s.pending); err != nil {
+		d.persistErr = &PersistError{Op: "wal reset", Err: err}
+	}
+	return s, nil
+}
+
+// loadSegment reads one segment file and its sidecar. Block damage is
+// an error (caller quarantines); sidecar damage is absorbed by
+// rebuilding the indexes from the verified blocks.
+func (d *durable) loadSegment(name string, from, to int64, indexRewards bool) (*segment, *segAgg, error) {
+	data, err := d.fs.ReadFile(join(d.dir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks, err := decodeSegFile(data, from, to)
+	if err != nil {
+		return nil, nil, err
+	}
+	if idx, err := d.fs.ReadFile(join(d.dir, idxFileName(name))); err == nil {
+		if g, c, err := decodeIdxFile(idx, blocks, indexRewards); err == nil {
+			return g, c, nil
+		}
+	}
+	// Missing or damaged sidecar: the blocks are intact, so this is
+	// recoverable locally — rebuild and republish it.
+	g := buildSegment(blocks, indexRewards)
+	c := computeSegAgg(blocks)
+	d.sidecarsRebuilt++
+	d.fs.Remove(join(d.dir, idxFileName(name))) // best effort
+	writeFileAtomic(d.fs, join(d.dir, idxFileName(name)), encodeIdxFile(g, c, indexRewards))
+	return g, c, nil
+}
+
+// quarantine moves a damaged segment file (and its sidecar) into the
+// quarantine/ subdirectory and records the lost range as a Gap.
+func (d *durable) quarantine(name string, from, to int64, cause error) {
+	qdir := join(d.dir, "quarantine")
+	d.fs.MkdirAll(qdir)
+	d.fs.Rename(join(d.dir, name), join(qdir, name))
+	idx := idxFileName(name)
+	d.fs.Rename(join(d.dir, idx), join(qdir, idx))
+	d.quarantined++
+	d.gaps = append(d.gaps, Gap{From: from, To: to})
+	d.persistErr = &PersistError{Op: "load " + name + " (quarantined)", Err: cause}
+}
+
+// Repair closes the store's gaps by re-ingesting the missing heights
+// from a source chain, republishing their segment files. Blocks the
+// store already holds are never touched. It returns the first persist
+// error; unrepairable gaps (heights the chain does not cover) remain
+// reported.
+func (s *Store) Repair(c *chain.Chain) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dur
+	if d == nil || len(d.gaps) == 0 {
+		return nil
+	}
+	s.ledger = c.Ledger()
+	var firstErr error
+	var remaining []Gap
+	for _, gap := range d.gaps {
+		to := gap.To
+		if to < 0 {
+			to = c.Height()
+		}
+		var missing []*chain.Block
+		for _, b := range c.BlocksFrom(gap.From - 1) {
+			if b.Height > to {
+				break
+			}
+			if !s.coveredLocked(b.Height) {
+				missing = append(missing, b)
+			}
+		}
+		if len(missing) == 0 {
+			if gap.To >= 0 && c.Height() < gap.To {
+				// The chain cannot vouch for this range; keep reporting.
+				remaining = append(remaining, gap)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("etl: repair: chain tip %d below gap [%d,%d]", c.Height(), gap.From, gap.To)
+				}
+			}
+			continue
+		}
+		if err := s.repairRunLocked(missing); err != nil {
+			remaining = append(remaining, gap)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	d.gaps = remaining
+	// Middle-gap repairs append their close points out of order.
+	sort.Slice(s.agg.Closes, func(i, j int) bool { return s.agg.Closes[i].Height < s.agg.Closes[j].Height })
+	if firstErr == nil && d.persistErr != nil {
+		// The store is whole again; clear the quarantine-time note.
+		d.persistErr = nil
+	}
+	s.grown.Broadcast()
+	return firstErr
+}
+
+// repairRunLocked reinstates one run of missing blocks. Blocks beyond
+// the tip go through the normal append path (WAL, then seal); blocks
+// filling a middle gap become a sealed segment published immediately.
+func (s *Store) repairRunLocked(blocks []*chain.Block) error {
+	if blocks[0].Height > s.tip {
+		for _, b := range blocks {
+			if err := s.appendLocked(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g := buildSegment(blocks, s.cfg.IndexRewardEntries)
+	if err := s.dur.writeSegment(g, s.cfg.IndexRewardEntries); err != nil {
+		return &PersistError{Op: "repair segment " + segFileName(g.from, g.to), Err: err}
+	}
+	i := sort.Search(len(s.sealed), func(i int) bool { return s.sealed[i].from > g.from })
+	s.sealed = append(s.sealed, nil)
+	copy(s.sealed[i+1:], s.sealed[i:])
+	s.sealed[i] = g
+	// The inserted segment is on disk, and unpersisted segments are
+	// always the newest (the slice tail), so the persisted prefix grows.
+	s.dur.persisted++
+	s.agg.addSegment(g, computeSegAgg(blocks))
+	if s.first < 0 || g.from < s.first {
+		s.first = g.from
+	}
+	if g.to > s.tip {
+		s.tip = g.to
+	}
+	return nil
+}
+
+// coveredLocked reports whether the store holds a block at height h.
+func (s *Store) coveredLocked(h int64) bool {
+	i := sort.Search(len(s.sealed), func(i int) bool { return s.sealed[i].to >= h })
+	if i < len(s.sealed) && s.sealed[i].from <= h {
+		blks := s.sealed[i].blocks
+		j := sort.Search(len(blks), func(j int) bool { return blks[j].Height >= h })
+		if j < len(blks) && blks[j].Height == h {
+			return true
+		}
+	}
+	j := sort.Search(len(s.pending), func(j int) bool { return s.pending[j].Height >= h })
+	return j < len(s.pending) && s.pending[j].Height == h
+}
+
+// ReplayLedger rebuilds ledger state by replaying every stored block
+// through a fresh ledger — the durable analogue of ReadChain's replay
+// — and attaches it to the store for the View's balance queries.
+// Queries that only touch indexes and aggregates don't need it, which
+// is why Open leaves the ledger unset.
+func (s *Store) ReplayLedger() (*chain.Ledger, error) {
+	l := chain.NewLedger()
+	var firstErr error
+	sealed, pending := s.view()
+	apply := func(b *chain.Block) bool {
+		for i, t := range b.Txns {
+			if err := l.ApplyTxn(t, b.Height); err != nil {
+				firstErr = fmt.Errorf("etl: replay block %d txn %d (%s): %w", b.Height, i, t.TxnType(), err)
+				return false
+			}
+		}
+		return true
+	}
+	for _, g := range sealed {
+		for _, b := range g.blocks {
+			if !apply(b) {
+				return nil, firstErr
+			}
+		}
+	}
+	for _, b := range pending {
+		if !apply(b) {
+			return nil, firstErr
+		}
+	}
+	s.SetLedger(l)
+	return l, nil
+}
+
+// Close flushes the durable state and releases the WAL handle. The
+// store stays queryable; only further appends need a reopen. Close on
+// a memory-only store is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	var err error
+	if d.persistErr != nil || d.wal.dirty {
+		err = s.syncDiskLocked()
+	}
+	d.wal.close()
+	return err
+}

@@ -1,0 +1,170 @@
+package etl
+
+// Write-ahead log for the unsealed tail. Appends write one whole
+// checksummed frame (persist.go's framing) per block in a single
+// Write call followed by Sync — a block is acknowledged only after
+// both succeed, so recovery's classification is exact:
+//
+//   - the file ends mid-frame → a crash interrupted a write that was
+//     never acknowledged; the torn tail is dropped losslessly.
+//   - a structurally complete frame fails its checksum → previously
+//     acknowledged data was damaged at rest; everything from that
+//     point on is untrustworthy, and the loss is reported as a Gap
+//     for Repair to close from the source chain.
+//
+// The log is rewritten (tmp + fsync + rename) rather than truncated:
+// after every seal, shrinking it to the now-empty pending tail, and
+// after any append failure, rebuilding it from the store's in-memory
+// backlog before new blocks are accepted.
+
+import (
+	"errors"
+	"strconv"
+
+	"peoplesnet/internal/chain"
+)
+
+type wal struct {
+	fs   FS
+	path string
+	w    File // open append handle; nil after a failure or before reset
+	// dirty marks the on-disk log as possibly holding a torn or stale
+	// tail; the next append must rebuild it before logging anything.
+	dirty bool
+	depth int   // records in the log
+	size  int64 // bytes in the log
+}
+
+func newWAL(fsys FS, path string) *wal {
+	// dirty until the first reset proves the file matches memory.
+	return &wal{fs: fsys, path: path, dirty: true}
+}
+
+// append logs one block and fsyncs it. On error the handle is dropped
+// and the log marked dirty; the block was not acknowledged.
+func (l *wal) append(b *chain.Block) error {
+	if l.w == nil || l.dirty {
+		return errors.New("wal not open")
+	}
+	frame := appendFrame(nil, chain.EncodeBlock(nil, b))
+	if _, err := l.w.Write(frame); err != nil {
+		l.fail()
+		return err
+	}
+	if err := l.w.Sync(); err != nil {
+		l.fail()
+		return err
+	}
+	l.depth++
+	l.size += int64(len(frame))
+	return nil
+}
+
+func (l *wal) fail() {
+	l.dirty = true
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+}
+
+// reset rewrites the log to hold exactly blocks and reopens it for
+// appending. The old log stays in place until the rename, so a crash
+// or failure mid-reset loses nothing.
+func (l *wal) reset(blocks []*chain.Block) error {
+	l.fail() // close the stale handle; dirty until the rewrite lands
+	buf := []byte(walMagic)
+	var scratch []byte
+	for _, b := range blocks {
+		scratch = chain.EncodeBlock(scratch[:0], b)
+		buf = appendFrame(buf, scratch)
+	}
+	if err := writeFileAtomic(l.fs, l.path, buf); err != nil {
+		return err
+	}
+	w, err := l.fs.Append(l.path)
+	if err != nil {
+		return err
+	}
+	l.w, l.dirty = w, false
+	l.depth, l.size = len(blocks), int64(len(buf))
+	return nil
+}
+
+// close releases the append handle (flushed state stays on disk).
+func (l *wal) close() {
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	l.dirty = true
+}
+
+// walScan is what recovery found in the log.
+type walScan struct {
+	blocks []*chain.Block
+	// torn: the file ended mid-frame (unacknowledged crash tail,
+	// dropped losslessly). corrupt: acknowledged data failed its
+	// checksum; blocks holds the good prefix and the caller reports an
+	// open-ended Gap after it.
+	torn    bool
+	corrupt bool
+	note    string
+}
+
+// readWAL scans the log, classifying any damage. A missing file is a
+// fresh store.
+func readWAL(fsys FS, path string) walScan {
+	var scan walScan
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		if IsNotExist(err) {
+			return scan
+		}
+		scan.corrupt = true
+		scan.note = "wal unreadable: " + err.Error()
+		return scan
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		// The log is only ever published whole via rename, so a
+		// missing or mangled magic is damage, not a crash artifact.
+		scan.corrupt = true
+		scan.note = "wal magic damaged"
+		return scan
+	}
+	rest := data[len(walMagic):]
+	prev := int64(-1)
+	for len(rest) > 0 {
+		payload, next, err := readFrame(rest)
+		if err != nil {
+			if errors.Is(err, errFrameTorn) {
+				scan.torn = true
+				scan.note = "torn wal tail truncated"
+			} else {
+				scan.corrupt = true
+				scan.note = "corrupt wal record after height " + itoa(prev)
+			}
+			return scan
+		}
+		b, err := chain.DecodeBlock(payload)
+		if err != nil || (prev >= 0 && b.Height <= prev) {
+			// The frame checksum passed but the contents are wrong:
+			// damage that happens to preserve the CRC, or a logic bug.
+			// Either way the record was acknowledged and is now lost.
+			scan.corrupt = true
+			scan.note = "undecodable wal record after height " + itoa(prev)
+			return scan
+		}
+		scan.blocks = append(scan.blocks, b)
+		prev = b.Height
+		rest = next
+	}
+	return scan
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "start"
+	}
+	return strconv.FormatInt(v, 10)
+}

@@ -1,0 +1,187 @@
+// Package faultfs wraps an etl.FS with deterministic, seedable I/O
+// faults for crash-recovery testing. Every state-mutating operation
+// (create, append-open, write, sync, rename, remove) increments an op
+// counter; configuring FailAtOp = k makes the k-th such op fail with
+// ErrInjected. With Crash set, every later mutating op fails too —
+// modeling a process that died at that point — so a test can enumerate
+// k over a workload's full op count and prove recovery from every
+// crash site. TornWrite makes the failing write persist a
+// seeded-random prefix of its buffer first, the way a real crash tears
+// a partially flushed write. CorruptFile flips a seeded-random bit in
+// a file at rest, modeling silent media damage.
+//
+// The wrapper is deterministic: the same seed and workload produce
+// the same faults, so every matrix failure reproduces exactly.
+package faultfs
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"peoplesnet/internal/etl"
+)
+
+// ErrInjected is the error every injected fault returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Config selects which faults fire.
+type Config struct {
+	// Seed drives the deterministic RNG behind TornWrite prefixes and
+	// CorruptFile bit choices.
+	Seed int64
+	// FailAtOp makes the k-th mutating operation (1-based) fail; 0
+	// injects nothing.
+	FailAtOp int
+	// Crash makes every mutating op after the first failure fail too,
+	// modeling a dead process rather than a transient fault.
+	Crash bool
+	// TornWrite makes a failing Write persist a random prefix of its
+	// buffer before reporting failure.
+	TornWrite bool
+}
+
+// FS wraps an inner etl.FS with fault injection.
+type FS struct {
+	inner etl.FS
+	cfg   Config
+
+	mu     sync.Mutex
+	ops    int
+	failed bool
+	rng    *rand.Rand
+}
+
+// New wraps inner with the given fault plan.
+func New(inner etl.FS, cfg Config) *FS {
+	return &FS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Ops returns how many mutating operations have been attempted. A
+// fault-free passthrough run's final count bounds the crash matrix.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// step counts one mutating op and reports whether it must fail.
+func (f *FS) step() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.failed && f.cfg.Crash {
+		return true
+	}
+	if f.cfg.FailAtOp > 0 && f.ops == f.cfg.FailAtOp {
+		f.failed = true
+		return true
+	}
+	return false
+}
+
+// tornLen picks how much of a failing write persists.
+func (f *FS) tornLen(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.cfg.TornWrite || n == 0 {
+		return 0
+	}
+	return f.rng.Intn(n)
+}
+
+func (f *FS) MkdirAll(dir string) error            { return f.inner.MkdirAll(dir) }
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FS) Create(name string) (etl.File, error) {
+	if f.step() {
+		return nil, ErrInjected
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Append(name string) (etl.File, error) {
+	if f.step() {
+		return nil, ErrInjected
+	}
+	inner, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	if f.step() {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FS) Remove(name string) error {
+	if f.step() {
+		return ErrInjected
+	}
+	return f.inner.Remove(name)
+}
+
+// file wraps an inner handle so writes and syncs hit the fault plan.
+type file struct {
+	fs    *FS
+	inner etl.File
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	if h.fs.step() {
+		if n := h.fs.tornLen(len(p)); n > 0 {
+			h.inner.Write(p[:n])
+		}
+		return 0, ErrInjected
+	}
+	return h.inner.Write(p)
+}
+
+func (h *file) Sync() error {
+	if h.fs.step() {
+		return ErrInjected
+	}
+	return h.inner.Sync()
+}
+
+func (h *file) Close() error { return h.inner.Close() }
+
+// CorruptFile flips one seeded-random bit of name in place, through
+// the inner FS (bypassing fault counting). It reports the chosen byte
+// offset so failures print reproducibly.
+func (f *FS) CorruptFile(name string) (offset int, err error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, errors.New("faultfs: cannot corrupt empty file")
+	}
+	f.mu.Lock()
+	offset = f.rng.Intn(len(data))
+	bit := uint(f.rng.Intn(8))
+	f.mu.Unlock()
+	data[offset] ^= 1 << bit
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return offset, err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return offset, err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return offset, err
+	}
+	return offset, w.Close()
+}

@@ -1,0 +1,162 @@
+// Package wire provides the primitive byte codec shared by the
+// chain's binary block encoding and the ETL store's on-disk formats
+// (segment files, index sidecars, write-ahead log).
+//
+// Reader never panics on malformed input: it carries a sticky error,
+// returns zero values after the first failure, and bounds
+// length-prefixed counts by the bytes remaining so corrupted inputs
+// cannot drive huge allocations.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends primitive values to Buf.
+type Writer struct{ Buf []byte }
+
+func (w *Writer) U8(v uint8)       { w.Buf = append(w.Buf, v) }
+func (w *Writer) Uvarint(v uint64) { w.Buf = binary.AppendUvarint(w.Buf, v) }
+func (w *Writer) Varint(v int64)   { w.Buf = binary.AppendVarint(w.Buf, v) }
+func (w *Writer) F64(v float64)    { w.Buf = binary.BigEndian.AppendUint64(w.Buf, math.Float64bits(v)) }
+
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+func (w *Writer) Str(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.Buf = append(w.Buf, s...)
+}
+
+func (w *Writer) Strs(ss []string) {
+	w.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.Str(s)
+	}
+}
+
+// Reader consumes primitive values from a byte slice with a sticky
+// error: after the first failure every read returns a zero value, so
+// decode paths can defer a single error check.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Fail records an error if none is set yet.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.Fail(fmt.Errorf("truncated input at byte %d", r.off))
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail(fmt.Errorf("bad uvarint at byte %d", r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail(fmt.Errorf("bad varint at byte %d", r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.Fail(fmt.Errorf("truncated float at byte %d", r.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) Str() string {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *Reader) Strs() []string {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.Str()
+	}
+	return out
+}
+
+// Count reads an element count and bounds it by the bytes remaining
+// (each element occupies at least minBytes), so corrupted counts fail
+// fast instead of driving huge allocations.
+func (r *Reader) Count(minBytes int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if remain := len(r.buf) - r.off; v > uint64(remain/minBytes) {
+		r.Fail(fmt.Errorf("count %d exceeds %d remaining bytes", v, remain))
+		return 0
+	}
+	return int(v)
+}
