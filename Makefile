@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet check recovery fuzz-smoke
+.PHONY: build test race bench fmt vet lint lint-fix-scan check recovery fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,27 @@ bench:
 bench-etl:
 	$(GO) test -run xxx -bench 'BenchmarkETL' -benchtime 200x .
 
+# Fixture modules under internal/analysis/testdata hold deliberately
+# bad code for the linter's own tests; fmt skips them (vet and build
+# already do, since the toolchain ignores testdata trees).
 fmt:
-	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+	@files=$$(gofmt -l . | grep -v '/testdata/' || true); if [ -n "$$files" ]; then \
 		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# Repo-invariant static analysis (internal/analysis): fsdiscipline,
+# determinism, txnexhaustive, closecheck. Also runs under
+# `go vet -vettool=bin/peoplesnetlint ./...`.
+lint:
+	$(GO) build -o bin/peoplesnetlint ./cmd/peoplesnetlint
+	./bin/peoplesnetlint ./...
+
+# Audit every //lint:allow suppression in the tree, with its reason.
+lint-fix-scan:
+	$(GO) build -o bin/peoplesnetlint ./cmd/peoplesnetlint
+	./bin/peoplesnetlint -suppressions ./...
 
 # Crash-recovery matrix: every mutating I/O op of the ingest workload
 # becomes a crash site (plus torn writes and bit flips); recovery must
@@ -38,4 +53,4 @@ recovery:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecodeBlock -fuzztime 10s -run xxx ./internal/chain/
 
-check: fmt vet build race recovery fuzz-smoke
+check: fmt vet lint build race recovery fuzz-smoke

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck enforces error handling on the durable-store write path:
+// in the packages that persist ledger data, the error returned by
+// Close or Sync on a writable file handle must not be silently
+// dropped. A Close that fails after a write means the data may never
+// have reached stable storage — dropping that error silently converts
+// "crash-safe" into "probably fine". Deliberate discards on
+// already-failing paths are written as `_ = f.Close()`, which the
+// check accepts because the discard is visible in review.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "require Close/Sync errors on durable write handles to be checked (or\n" +
+		"visibly discarded with `_ =`); an unchecked Close after a write is a\n" +
+		"lost crash-safety guarantee.",
+	Run: runCloseCheck,
+}
+
+// closeCheckPkgs are the packages owning durable write paths.
+var closeCheckPkgs = map[string]bool{
+	"peoplesnet/internal/etl":     true,
+	"peoplesnet/internal/faultfs": true,
+}
+
+// writeHandle is the structural signature of a durable write handle:
+// anything with Write/Sync/Close in the shape of etl.File (which
+// *os.File also satisfies).
+var writeHandle = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	sig := func(params, results []*types.Var) *types.Signature {
+		return types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(params...), types.NewTuple(results...), false)
+	}
+	v := func(t types.Type) *types.Var { return types.NewVar(token.NoPos, nil, "", t) }
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig([]*types.Var{v(byteSlice)}, []*types.Var{v(types.Typ[types.Int]), v(errType)})),
+		types.NewFunc(token.NoPos, nil, "Sync", sig(nil, []*types.Var{v(errType)})),
+		types.NewFunc(token.NoPos, nil, "Close", sig(nil, []*types.Var{v(errType)})),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runCloseCheck(pass *Pass) error {
+	if !closeCheckPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := "discarded"
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+				verb = "deferred without checking"
+			case *ast.GoStmt:
+				call = n.Call
+				verb = "spawned without checking"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+				return true
+			}
+			// Only method calls on values; skip package selectors.
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			recv := selection.Recv()
+			if !types.Implements(recv, writeHandle) &&
+				!types.Implements(types.NewPointer(recv), writeHandle) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s error of %s.%s on a durable write handle loses the crash-safety guarantee; check it, or discard visibly with `_ =`",
+				verb, types.TypeString(recv, types.RelativeTo(pass.Pkg)), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestCloseCheckFixture(t *testing.T) {
+	res := runFixture(t, "closecheck", CloseCheck,
+		"peoplesnet/internal/etl",    // durable write path: flagged shapes
+		"peoplesnet/internal/router", // same handle shape, no durable path
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("closecheck fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("closecheck fixture expects 4 findings (discard, discard, defer, go), got %d", len(res.Diagnostics))
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The fixture harness is a miniature of x/tools' analysistest: each
+// tree under testdata/<fixture>/ is a self-contained module named
+// peoplesnet, so packages land on the exact import paths the analyzers
+// scope by (peoplesnet/internal/etl, .../simnet, ...). Inside the
+// fixtures, a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// asserts that a diagnostic matching each regexp is reported on that
+// line. Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test.
+
+// wantRe finds the expectation clause inside a comment; wantArgRe
+// splits out each double-quoted regexp.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(".*)$`)
+	wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// expectation is one parsed want clause entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts every want expectation from a package's sources.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want clause with no quoted regexp: %s", pos, c.Text)
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, a[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads the module under testdata/<fixture>, runs one
+// analyzer over the named packages, and checks the diagnostics against
+// the fixtures' want comments. The merged result is returned so tests
+// can additionally assert on suppressions.
+func runFixture(t *testing.T, fixture string, a *Analyzer, pkgPaths ...string) Result {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader for fixture %s: %v", fixture, err)
+	}
+	var merged Result
+	var wants []*expectation
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("fixture %s: load %s: %v", fixture, path, err)
+		}
+		res, err := Run(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("fixture %s: run %s on %s: %v", fixture, a.Name, path, err)
+		}
+		merged.Diagnostics = append(merged.Diagnostics, res.Diagnostics...)
+		merged.Suppressions = append(merged.Suppressions, res.Suppressions...)
+		wants = append(wants, parseWants(t, pkg)...)
+	}
+
+	for _, d := range merged.Diagnostics {
+		pos := l.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+	return merged
+}

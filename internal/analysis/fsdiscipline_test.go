@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestFSDisciplineFixture(t *testing.T) {
+	res := runFixture(t, "fsdiscipline", FSDiscipline,
+		"peoplesnet/internal/etl",     // fs.go accepted, store.go flagged
+		"peoplesnet/internal/faultfs", // scoped by mentioning etl.FS
+		"peoplesnet/internal/hotspot", // unscoped: direct os use is fine
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("fsdiscipline fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 3 {
+		t.Errorf("fsdiscipline fixture expects 3 findings, got %d", len(res.Diagnostics))
+	}
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. "peoplesnet/internal/etl"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module from source.
+// Imports inside the module are resolved against the module root;
+// standard-library imports go through the toolchain's source importer,
+// so loading works offline and needs no pre-built export data. Loaded
+// packages are cached, so shared dependencies type-check once.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std types.ImporterFrom
+
+	mu      sync.Mutex
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module containing dir (the
+// nearest ancestor with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer so the loader can resolve the
+// module's internal imports during type checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Dir maps an import path to its directory under the module root.
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// PathFor maps a directory inside the module to its import path.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks the package at importPath. Test files
+// (_test.go) are excluded: the invariants protect the measurement
+// pipeline, and test scaffolding legitimately polls wall clocks.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[importPath]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	if l.loading[importPath] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, importPath)
+		l.mu.Unlock()
+	}()
+
+	dir := l.dirFor(importPath)
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, err)
+	}
+	p := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.mu.Lock()
+	l.pkgs[importPath] = p
+	l.mu.Unlock()
+	return p, nil
+}
+
+// parseDir parses every non-test Go file in dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Packages enumerates the import paths of every package under the
+// module root, skipping testdata trees, hidden directories, and
+// directories without non-test Go files. The pattern "./..." (or "all")
+// selects everything; "./x/..." selects a subtree; anything else is
+// treated as one directory.
+func (l *Loader) Packages(pattern string) ([]string, error) {
+	prefix := l.ModuleRoot
+	switch {
+	case pattern == "./..." || pattern == "all" || pattern == "...":
+		// whole module
+	case strings.HasSuffix(pattern, "/..."):
+		prefix = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimSuffix(strings.TrimPrefix(pattern, "./"), "/...")))
+	default:
+		p, err := l.PathFor(pattern)
+		if err != nil {
+			return nil, err
+		}
+		return []string{p}, nil
+	}
+	var out []string
+	err := filepath.WalkDir(prefix, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != prefix && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		p, err := l.PathFor(filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	// dedupe
+	uniq := out[:0]
+	for i, p := range out {
+		if i == 0 || out[i-1] != p {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq, nil
+}

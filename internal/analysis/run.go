@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of running analyzers over one package:
+// surviving findings, plus the findings an allowlist comment silenced.
+type Result struct {
+	Diagnostics  []Diagnostic
+	Suppressions []Suppression
+}
+
+// allowRe matches the escape-hatch comment. The reason after "--" is
+// mandatory: a suppression with no justification is itself a finding.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+--\s+(\S.*)$`)
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+	line     int // the comment's own line; it covers this line and the next
+	pos      token.Pos
+}
+
+// parseAllows extracts every //lint:allow comment in the package. A
+// malformed allow (unknown analyzer, or a missing "-- reason") is
+// reported as a diagnostic under the pseudo-analyzer "lintallow" so it
+// cannot silently fail open.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]allowSite, []Diagnostic) {
+	var sites []allowSite
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "malformed suppression; use //lint:allow <analyzer> -- <reason>",
+					})
+					continue
+				}
+				if !known[m[1]] {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", m[1]),
+					})
+					continue
+				}
+				sites = append(sites, allowSite{
+					analyzer: m[1],
+					reason:   m[2],
+					line:     fset.Position(c.Pos()).Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sites, bad
+}
+
+// Run executes the analyzers over pkg, applies //lint:allow filtering,
+// and returns surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allows, bad := parseAllows(pkg.Fset, pkg.Files, known)
+
+	var res Result
+	res.Diagnostics = append(res.Diagnostics, bad...)
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return res, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			if site, ok := allowed(pkg.Fset, allows, d); ok {
+				res.Suppressions = append(res.Suppressions, Suppression{
+					Pos:      d.Pos,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+					Reason:   site.reason,
+				})
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+	})
+	sort.SliceStable(res.Suppressions, func(i, j int) bool {
+		return res.Suppressions[i].Pos < res.Suppressions[j].Pos
+	})
+	return res, nil
+}
+
+// allowed reports whether an //lint:allow comment covers d: same
+// analyzer, same file, on the finding's line (trailing comment) or the
+// line above (standalone comment).
+func allowed(fset *token.FileSet, allows []allowSite, d Diagnostic) (allowSite, bool) {
+	p := fset.Position(d.Pos)
+	for _, s := range allows {
+		if s.analyzer != d.Analyzer {
+			continue
+		}
+		sp := fset.Position(s.pos)
+		if sp.Filename != p.Filename {
+			continue
+		}
+		if s.line == p.Line || s.line == p.Line-1 {
+			return s, true
+		}
+	}
+	return allowSite{}, false
+}

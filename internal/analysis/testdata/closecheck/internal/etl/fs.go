@@ -1,0 +1,10 @@
+// Package etl holds the durable write path; closecheck applies here.
+package etl
+
+// File is the durable write handle: Write/Sync/Close, the structural
+// shape the analyzer keys on.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}

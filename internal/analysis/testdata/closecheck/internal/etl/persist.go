@@ -1,0 +1,36 @@
+package etl
+
+// Persist is the disciplined write path: every Close and Sync error is
+// either checked or visibly discarded.
+func Persist(f File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Sloppy drops Sync and Close errors on the write path: flagged.
+func Sloppy(f File, data []byte) {
+	if _, err := f.Write(data); err != nil {
+		return
+	}
+	f.Sync()  // want "discarded error of File\.Sync on a durable write handle"
+	f.Close() // want "discarded error of File\.Close on a durable write handle"
+}
+
+// Deferred defers Close without checking its error: flagged.
+func Deferred(f File, data []byte) error {
+	defer f.Close() // want "deferred without checking error of File\.Close"
+	_, err := f.Write(data)
+	return err
+}
+
+// Spawned loses the Close error on another goroutine: flagged.
+func Spawned(f File) {
+	go f.Close() // want "spawned without checking error of File\.Close"
+}

@@ -1,0 +1,10 @@
+// Package hotspot is an operational component outside the determinism
+// set; its health fields may read the clock freely.
+package hotspot
+
+import "time"
+
+// Uptime reads the wall clock; no diagnostic here.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

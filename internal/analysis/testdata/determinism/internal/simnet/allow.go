@@ -1,0 +1,22 @@
+package simnet
+
+import "time"
+
+// BootStamp is this fixture's sanctioned real-time boundary: the
+// escape hatch suppresses the finding and records it for the audit.
+func BootStamp() time.Time {
+	return time.Now() //lint:allow determinism -- fixture: the sanctioned real-time boundary
+}
+
+// SloppyStamp carries an allow with no reason; the suppression is
+// malformed, fails open, and the finding still fires.
+func SloppyStamp() time.Time {
+	//lint:allow determinism // want "malformed suppression"
+	return time.Now() // want "time\.Now reads the wall clock in a deterministic package"
+}
+
+// MisroutedStamp names an analyzer that does not exist; same story.
+func MisroutedStamp() time.Time {
+	//lint:allow cowboy -- no analyzer answers to this name // want "unknown analyzer"
+	return time.Now() // want "time\.Now reads the wall clock in a deterministic package"
+}

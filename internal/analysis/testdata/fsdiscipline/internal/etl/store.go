@@ -1,0 +1,34 @@
+package etl
+
+import "os"
+
+// Store persists through an injected FS; any direct os call in this
+// file bypasses the crash matrix.
+type Store struct {
+	fs FS
+}
+
+// Persist is the disciplined path: every byte flows through the FS.
+func (s *Store) Persist(name string, data []byte) error {
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Sidestep goes straight to the OS and must be flagged, twice.
+func (s *Store) Sidestep(name string, data []byte) error {
+	if err := os.WriteFile(name+".tmp", data, 0o644); err != nil { // want "direct os\.WriteFile bypasses the injectable etl\.FS"
+		return err
+	}
+	return os.Rename(name+".tmp", name) // want "direct os\.Rename bypasses the injectable etl\.FS"
+}

@@ -1,0 +1,24 @@
+// Package faultfs mentions etl.FS, which places the whole package
+// under the FS discipline even though it is not internal/etl itself.
+package faultfs
+
+import (
+	"os"
+
+	"peoplesnet/internal/etl"
+)
+
+// FS wraps an inner etl.FS with fault injection.
+type FS struct {
+	inner etl.FS
+}
+
+// ReadFile leaks around the wrapped FS and must be flagged.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(name) // want "direct os\.ReadFile bypasses the injectable etl\.FS"
+}
+
+// ReadThrough is the disciplined path.
+func (f *FS) ReadThrough(name string) ([]byte, error) {
+	return f.inner.ReadFile(name)
+}

@@ -1,0 +1,10 @@
+// Package hotspot never touches etl.FS, so it is outside the FS
+// discipline: direct os use here is operational, not a finding.
+package hotspot
+
+import "os"
+
+// Snapshot reads an operational file directly; no diagnostic.
+func Snapshot(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}

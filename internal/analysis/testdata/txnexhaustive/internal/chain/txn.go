@@ -1,0 +1,38 @@
+// Package chain defines the fixture's transaction vocabulary: an enum
+// of transaction type tags and the concrete structs behind them.
+package chain
+
+// TxnType tags each transaction variant.
+type TxnType uint8
+
+const (
+	TxnPayment TxnType = iota
+	TxnAddGateway
+	TxnAssertLocation
+	// txnReserved is unexported and never appears in ledgers; the
+	// analyzer must exclude it from the vocabulary.
+	txnReserved
+)
+
+// Txn is the transaction interface every concrete variant implements.
+type Txn interface {
+	TxnType() TxnType
+}
+
+// Payment moves HNT between accounts.
+type Payment struct{}
+
+func (*Payment) TxnType() TxnType { return TxnPayment }
+
+// AddGateway registers a hotspot.
+type AddGateway struct{}
+
+func (*AddGateway) TxnType() TxnType { return TxnAddGateway }
+
+// AssertLocation places a hotspot on the map.
+type AssertLocation struct{}
+
+func (*AssertLocation) TxnType() TxnType { return TxnAssertLocation }
+
+// reservedTxn consumes txnReserved so the fixture compiles clean.
+func reservedTxn() TxnType { return txnReserved }

@@ -1,0 +1,81 @@
+// Package core consumes the chain vocabulary; its switches are the
+// shapes txnexhaustive judges.
+package core
+
+import "peoplesnet/internal/chain"
+
+// CountByType covers every exported variant: not flagged.
+func CountByType(t chain.TxnType) int {
+	switch t {
+	case chain.TxnPayment:
+		return 1
+	case chain.TxnAddGateway:
+		return 2
+	case chain.TxnAssertLocation:
+		return 3
+	}
+	return 0
+}
+
+// Partial misses variants with no default: flagged, naming them.
+func Partial(t chain.TxnType) bool {
+	switch t { // want "switch over chain\.TxnType misses TxnAddGateway, TxnAssertLocation"
+	case chain.TxnPayment:
+		return true
+	}
+	return false
+}
+
+// Defaulted acknowledges the rest explicitly: not flagged.
+func Defaulted(t chain.TxnType) bool {
+	switch t {
+	case chain.TxnPayment:
+		return true
+	default:
+		return false
+	}
+}
+
+// Observe covers every concrete transaction struct: not flagged.
+func Observe(t chain.Txn) int {
+	switch t.(type) {
+	case *chain.Payment:
+		return 1
+	case *chain.AddGateway:
+		return 2
+	case *chain.AssertLocation:
+		return 3
+	}
+	return 0
+}
+
+// PartialObserve misses concrete structs with no default: flagged.
+func PartialObserve(t chain.Txn) bool {
+	switch t.(type) { // want "type switch over chain\.Txn misses AddGateway, AssertLocation"
+	case *chain.Payment:
+		return true
+	}
+	return false
+}
+
+// DefaultedObserve binds the variant and defaults the rest: not
+// flagged.
+func DefaultedObserve(t chain.Txn) int {
+	switch v := t.(type) {
+	case *chain.Payment:
+		_ = v
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PlainSwitch is over an ordinary int and none of the analyzer's
+// business.
+func PlainSwitch(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

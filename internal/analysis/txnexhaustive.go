@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TxnExhaustive enforces that every switch over the chain transaction
+// vocabulary acknowledges the whole vocabulary. Two shapes are
+// checked:
+//
+//   - value switches over chain.TxnType must cover every exported
+//     TxnType constant or carry an explicit default;
+//   - type switches over the chain.Txn interface must cover every
+//     concrete transaction struct or carry an explicit default.
+//
+// The explicit default is the acknowledgment: a partial switch without
+// one means a newly added transaction type silently vanishes from the
+// HIP15/witness/state-channel studies instead of failing loudly or
+// being consciously ignored.
+var TxnExhaustive = &Analyzer{
+	Name: "txnexhaustive",
+	Doc: "require switches over chain.TxnType (and type switches over chain.Txn)\n" +
+		"to cover every transaction variant or carry an explicit default, so a\n" +
+		"new transaction type cannot silently vanish from an analysis.",
+	Run: runTxnExhaustive,
+}
+
+// chainPkgSuffix identifies the package defining the transaction
+// vocabulary.
+const chainPkgSuffix = "internal/chain"
+
+func runTxnExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkTxnTypeSwitch(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkTxnInterfaceSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isChainNamed reports whether t is the named type internal/chain.name
+// and returns it.
+func isChainNamed(t types.Type, name string) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), chainPkgSuffix) {
+		return nil, false
+	}
+	return named, true
+}
+
+// checkTxnTypeSwitch verifies a value switch whose tag is a
+// chain.TxnType.
+func checkTxnTypeSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := isChainNamed(tv.Type, "TxnType")
+	if !ok {
+		return
+	}
+
+	// The vocabulary: every exported constant of type TxnType declared
+	// in the chain package. Unexported constants are the reserved
+	// identifiers and never appear in ledgers.
+	variants := make(map[uint64]string)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if v, ok := constant.Uint64Val(c.Val()); ok {
+			variants[v] = name
+		}
+	}
+
+	covered := make(map[uint64]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default: the switch acknowledges the rest
+		}
+		for _, e := range cc.List {
+			if etv, ok := pass.TypesInfo.Types[e]; ok && etv.Value != nil {
+				if v, ok := constant.Uint64Val(etv.Value); ok {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for v, name := range variants {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(),
+			"switch over chain.TxnType misses %s; cover them or add an explicit default",
+			strings.Join(missing, ", "))
+	}
+}
+
+// checkTxnInterfaceSwitch verifies a type switch over the chain.Txn
+// interface.
+func checkTxnInterfaceSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	// Extract the x in "switch v := x.(type)".
+	var subject ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				subject = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			subject = ta.X
+		}
+	}
+	if subject == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[subject]
+	if !ok {
+		return
+	}
+	named, ok := isChainNamed(tv.Type, "Txn")
+	if !ok {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+
+	// The vocabulary: every exported concrete type in the chain package
+	// whose pointer implements Txn.
+	scope := named.Obj().Pkg().Scope()
+	variants := make(map[string]bool) // concrete type name -> covered
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.Identical(t, named) {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			variants[name] = false
+		}
+	}
+	if len(variants) == 0 {
+		return
+	}
+
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok {
+				continue
+			}
+			t := etv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				delete(variants, n.Obj().Name())
+			}
+		}
+	}
+	var missing []string
+	for name := range variants {
+		missing = append(missing, name)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(),
+			"type switch over chain.Txn misses %s; cover them or add an explicit default",
+			strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestTxnExhaustiveFixture(t *testing.T) {
+	res := runFixture(t, "txnexhaustive", TxnExhaustive,
+		"peoplesnet/internal/core", // the consumer holding the switches
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("txnexhaustive fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 2 {
+		t.Errorf("txnexhaustive fixture expects 2 findings (one per switch shape), got %d", len(res.Diagnostics))
+	}
+}

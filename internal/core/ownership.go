@@ -184,6 +184,9 @@ func (d *Dataset) BalanceHistory(owner string) *stats.TimeSeries {
 			if v.Owner == owner {
 				balance -= chain.StakeValidatorBones
 			}
+		default:
+			// Gateway, PoC, OUI, routing, and state-channel txns move
+			// DC or state, never an HNT balance.
 		}
 		if balance != before {
 			ts.Append(h, float64(balance))

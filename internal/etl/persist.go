@@ -230,11 +230,11 @@ func writeFileAtomic(fsys FS, path string, content []byte) error {
 		return err
 	}
 	if _, err := f.Write(content); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error wins
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the sync error wins
 		return err
 	}
 	if err := f.Close(); err != nil {

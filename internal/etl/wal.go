@@ -63,7 +63,7 @@ func (l *wal) append(b *chain.Block) error {
 func (l *wal) fail() {
 	l.dirty = true
 	if l.w != nil {
-		l.w.Close()
+		_ = l.w.Close() // handle is being abandoned as dirty either way
 		l.w = nil
 	}
 }
@@ -94,7 +94,7 @@ func (l *wal) reset(blocks []*chain.Block) error {
 // close releases the append handle (flushed state stays on disk).
 func (l *wal) close() {
 	if l.w != nil {
-		l.w.Close()
+		_ = l.w.Close() // appends are already fsynced; nothing left to flush
 		l.w = nil
 	}
 	l.dirty = true

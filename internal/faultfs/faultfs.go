@@ -16,10 +16,10 @@ package faultfs
 
 import (
 	"errors"
-	"math/rand"
 	"sync"
 
 	"peoplesnet/internal/etl"
+	"peoplesnet/internal/stats"
 )
 
 // ErrInjected is the error every injected fault returns.
@@ -49,12 +49,12 @@ type FS struct {
 	mu     sync.Mutex
 	ops    int
 	failed bool
-	rng    *rand.Rand
+	rng    *stats.RNG
 }
 
 // New wraps inner with the given fault plan.
 func New(inner etl.FS, cfg Config) *FS {
-	return &FS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FS{inner: inner, cfg: cfg, rng: stats.NewRNG(uint64(cfg.Seed))}
 }
 
 // Ops returns how many mutating operations have been attempted. A
@@ -176,11 +176,11 @@ func (f *FS) CorruptFile(name string) (offset int, err error) {
 		return offset, err
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
+		_ = w.Close() // already failing; the write error wins
 		return offset, err
 	}
 	if err := w.Sync(); err != nil {
-		w.Close()
+		_ = w.Close() // already failing; the sync error wins
 		return offset, err
 	}
 	return offset, w.Close()

@@ -1,0 +1,25 @@
+package p2p
+
+import "time"
+
+// Clock abstracts the wall clock so transport deadlines and test waits
+// can be driven deterministically. Production nodes run on SystemClock;
+// tests inject a fake to make timing reproducible. This is the one
+// sanctioned real-time boundary in the package — everything else must
+// go through an injected Clock, which is what the determinism analyzer
+// in internal/analysis enforces.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// SystemClock is the production Clock: the process wall clock.
+type SystemClock struct{}
+
+// Now returns the current wall-clock time.
+func (SystemClock) Now() time.Time {
+	return time.Now() //lint:allow determinism -- the single sanctioned wall-clock read; everything else injects Clock
+}
+
+// Sleep pauses the calling goroutine.
+func (SystemClock) Sleep(d time.Duration) { time.Sleep(d) }

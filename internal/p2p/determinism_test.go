@@ -1,0 +1,82 @@
+package p2p
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
+)
+
+// runGossipWorld spins up n live TCP nodes, seeds each peerbook with
+// the node's own row (logical multiaddr and location derived from the
+// RNG, so the books' contents are a pure function of the seed), runs a
+// seeded gossip schedule to convergence, and returns every node's
+// final peerbook rows.
+func runGossipWorld(t *testing.T, seed uint64, n int) [][]Entry {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+
+	nodes := make([]*Node, n)
+	addrs := make([]string, n) // live loopback dial addresses
+	for i := range nodes {
+		nodes[i] = NewNode(PeerIDFrom(fmt.Sprintf("gossip-world-%d", i)))
+		addr, err := nodes[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		addrs[i] = addr
+		defer nodes[i].Close()
+
+		// The peerbook row carries a logical address, not the
+		// OS-assigned TCP port, so converged books are comparable
+		// across runs.
+		logical, err := ParseListenAddr(fmt.Sprintf("/ip4/10.0.0.%d/tcp/%d", i+1, 4000+i))
+		if err != nil {
+			t.Fatalf("logical addr %d: %v", i, err)
+		}
+		pb := NewPeerbook()
+		pb.Put(Entry{
+			Peer: nodes[i].ID,
+			Addr: logical,
+			Location: geo.Point{
+				Lat: 25 + 24*rng.Float64(),
+				Lon: -124 + 57*rng.Float64(),
+			},
+		})
+		nodes[i].AttachPeerbook(pb)
+	}
+
+	// Enough rounds for anti-entropy to flood every row everywhere
+	// with overwhelming probability; WaitPeerbookSize below confirms.
+	if err := GossipRounds(nodes, addrs, 4*n, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	books := make([][]Entry, n)
+	for i, node := range nodes {
+		if !node.WaitPeerbookSize(n, 5*time.Second) {
+			t.Fatalf("node %d book stuck at %d/%d entries", i, node.pb.Len(), n)
+		}
+		books[i] = node.pb.Entries()
+	}
+	return books
+}
+
+// TestGossipDeterministic is the p2p reproducibility contract: two
+// gossip runs with the same seed converge to identical peer books —
+// same peers, same addresses, same asserted locations — and a
+// different seed produces observably different books.
+func TestGossipDeterministic(t *testing.T) {
+	const n = 8
+	a := runGossipWorld(t, 42, n)
+	b := runGossipWorld(t, 42, n)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed gossip runs diverged:\nrun1: %+v\nrun2: %+v", a[0], b[0])
+	}
+	c := runGossipWorld(t, 43, n)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical peer books; seed is not reaching the world")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
 )
 
 // Peerbook gossip: the anti-entropy exchange that keeps every miner's
@@ -103,18 +104,48 @@ func (n *Node) mergeGossip(payload []byte) {
 	}
 }
 
+// GossipRounds drives a deterministic anti-entropy schedule over a set
+// of live nodes: each round, every node — visited in a seeded-random
+// order — pushes up to batch rows of its peerbook to one
+// seeded-randomly chosen peer. addrs[i] is the dial address of
+// nodes[i]. The schedule (who gossips to whom, in which order) is a
+// pure function of the RNG stream, so two runs with equal seeds
+// converge to identical peer books; peerbook merges are first-seen-
+// wins and every node carries consistent rows, so delivery timing
+// cannot change the converged contents.
+func GossipRounds(nodes []*Node, addrs []string, rounds, batch int, rng *stats.RNG) error {
+	if len(nodes) != len(addrs) {
+		return fmt.Errorf("p2p: %d nodes but %d addrs", len(nodes), len(addrs))
+	}
+	if len(nodes) < 2 {
+		return nil
+	}
+	for r := 0; r < rounds; r++ {
+		for _, i := range rng.Perm(len(nodes)) {
+			j := rng.Intn(len(nodes) - 1)
+			if j >= i {
+				j++ // uniform over peers other than self
+			}
+			if err := nodes[i].GossipTo(addrs[j], batch); err != nil {
+				return fmt.Errorf("p2p: gossip round %d, node %d -> %d: %w", r, i, j, err)
+			}
+		}
+	}
+	return nil
+}
+
 // WaitPeerbookSize polls until the node's peerbook reaches size n or
-// the timeout passes, for tests.
+// the timeout passes, for tests. The node's clock paces the poll.
 func (node *Node) WaitPeerbookSize(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	deadline := node.clock.Now().Add(timeout)
+	for node.clock.Now().Before(deadline) {
 		node.mu.Lock()
 		pb := node.pb
 		node.mu.Unlock()
 		if pb != nil && pb.Len() >= n {
 			return true
 		}
-		time.Sleep(5 * time.Millisecond)
+		node.clock.Sleep(5 * time.Millisecond)
 	}
 	return false
 }

@@ -88,6 +88,11 @@ type Message struct {
 type Node struct {
 	ID PeerID
 
+	// clock drives transport deadlines and test waits; set once at
+	// construction (SystemClock) or via SetClock before the node is
+	// used, never mutated concurrently.
+	clock Clock
+
 	mu        sync.Mutex
 	ln        net.Listener
 	relayed   map[PeerID]net.Conn // peers registered through us
@@ -99,15 +104,21 @@ type Node struct {
 	wg        sync.WaitGroup
 }
 
-// NewNode creates a node with the given identity.
+// NewNode creates a node with the given identity, running on the
+// system clock.
 func NewNode(id PeerID) *Node {
 	return &Node{
 		ID:      id,
+		clock:   SystemClock{},
 		relayed: make(map[PeerID]net.Conn),
 		inbox:   make(chan Message, 256),
 		closed:  make(chan struct{}),
 	}
 }
+
+// SetClock replaces the node's clock. Call before the node is used;
+// the clock is read concurrently afterwards.
+func (n *Node) SetClock(c Clock) { n.clock = c }
 
 // Inbox delivers application messages received by the node.
 func (n *Node) Inbox() <-chan Message { return n.inbox }
@@ -265,7 +276,7 @@ func (n *Node) SendViaRelay(relayAddr string, target PeerID, payload []byte) err
 	}
 	// A successful bridge sends nothing back; errors come as ERROR.
 	// Poll briefly for an error frame.
-	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	conn.SetReadDeadline(n.clock.Now().Add(50 * time.Millisecond))
 	r := bufio.NewReader(conn)
 	if e, err := readEnvelope(r); err == nil && e.Kind == "ERROR" {
 		return fmt.Errorf("%w: %s", ErrRelayRefused, e.Reason)

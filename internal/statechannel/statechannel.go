@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"peoplesnet/internal/chain"
@@ -172,11 +173,7 @@ func (c *Channel) Close(omit map[string]bool) *chain.StateChannelClose {
 }
 
 func sortSummaries(ss []chain.SCSummary) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j].Hotspot < ss[j-1].Hotspot; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Hotspot < ss[j].Hotspot })
 }
 
 // Demand is a hotspot's grace-period claim that a close omitted its
