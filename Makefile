@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet lint lint-fix-scan check recovery fuzz-smoke
+.PHONY: build test race bench bench-etl bench-json fmt vet lint lint-fix-scan check recovery fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ bench:
 # ETL ingest/query benchmarks only (EXPERIMENTS.md "ETL store" section).
 bench-etl:
 	$(GO) test -run xxx -bench 'BenchmarkETL' -benchtime 200x .
+
+# Machine-readable benchmark record: run the full suite and write
+# BENCH_<date>.json (name, ns/op, allocs, world scale) — the
+# provenance file behind every number quoted in EXPERIMENTS.md.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench . -benchmem . | ./bin/benchjson -scale $${PEOPLESNET_BENCH_SCALE:-small}
 
 # Fixture modules under internal/analysis/testdata hold deliberately
 # bad code for the linter's own tests; fmt skips them (vet and build

@@ -707,3 +707,30 @@ func maxf(a, b float64) float64 {
 	}
 	return b
 }
+
+// ---------------------------------------------------------------------------
+// World generation (sharded vs sequential)
+
+// benchGenerate measures simnet.Generate at the bench scale with a
+// fixed worker count. The chain is bit-identical across shard counts
+// (pinned by internal/simnet's golden tests), so these differ only in
+// wall clock.
+func benchGenerate(b *testing.B, shards int) {
+	cfg := benchConfig()
+	cfg.Shards = shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simnet.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Chain.TxnCount() == 0 {
+			b.Fatal("empty chain")
+		}
+	}
+}
+
+func BenchmarkGenerate_Sequential(b *testing.B) { benchGenerate(b, 1) }
+func BenchmarkGenerate_Shards2(b *testing.B)    { benchGenerate(b, 2) }
+func BenchmarkGenerate_Shards4(b *testing.B)    { benchGenerate(b, 4) }
+func BenchmarkGenerate_AutoShards(b *testing.B) { benchGenerate(b, 0) }

@@ -1,0 +1,201 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable benchmark record. It reads the benchmark stream on
+// stdin and writes one JSON document naming every benchmark with its
+// ns/op, B/op, allocs/op, and any custom unit columns, stamped with
+// the date, Go version, CPU count, and world scale — the provenance
+// trail behind the numbers quoted in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . | benchjson -scale small
+//
+// writes BENCH_<date>.json in the current directory (override with
+// -out).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -<procs> suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under.
+	Procs int `json:"procs"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per iteration in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other unit column (MB/s, blocks/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole JSON document.
+type Record struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Scale      string      `json:"scale"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark results from a `go test -bench`
+// stream, ignoring the PASS/ok trailer and any non-benchmark noise.
+// When a benchmark logs (b.Log), go test interleaves the log text on
+// the name's line and prints the measurement on a continuation line
+// with no Benchmark prefix; a pending name bridges the two.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	var pending string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if strings.HasPrefix(line, "Benchmark") {
+			if len(fields) >= 4 && fields[3] == "ns/op" {
+				pending = ""
+				b, err := parseMeasurement(fields[0], fields[1:], line)
+				if err != nil {
+					return nil, err
+				}
+				if finite(b.NsPerOp) {
+					out = append(out, b)
+				}
+			} else if len(fields) > 0 {
+				pending = fields[0]
+			}
+			continue
+		}
+		// Continuation measurement for a logged benchmark.
+		if pending != "" && len(fields) >= 3 && fields[2] == "ns/op" {
+			b, err := parseMeasurement(pending, fields, line)
+			if err != nil {
+				return nil, err
+			}
+			if finite(b.NsPerOp) {
+				out = append(out, b)
+			}
+			pending = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// finite reports whether v can survive encoding/json. A benchmark
+// that ran zero iterations (e.g. skipped mid-loop) prints NaN ns/op;
+// it measured nothing, so it is dropped rather than aborting the run.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// parseMeasurement decodes one result: name, then (iterations, ns,
+// "ns/op", value-unit pairs...) in fields.
+func parseMeasurement(name string, fields []string, line string) (Benchmark, error) {
+	b := Benchmark{Name: name, Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return b, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b.Iterations = iters
+	ns, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return b, fmt.Errorf("bad ns/op in %q: %v", line, err)
+	}
+	b.NsPerOp = ns
+	// Remaining columns come in (value, unit) pairs.
+	for i := 3; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			// A benchmark can ReportMetric a NaN/Inf ratio (e.g. a
+			// rate whose denominator is zero at small scale);
+			// encoding/json rejects non-finite values, so drop them.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+func main() {
+	var (
+		scale = flag.String("scale", "small", "world scale annotation: small | paper")
+		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		date  = flag.String("date", "", "date stamp (default today, YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	benches, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	day := *date
+	if day == "" {
+		day = time.Now().UTC().Format("2006-01-02")
+	}
+	rec := Record{
+		Date:       day,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Benchmarks: benches,
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", day)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(benches))
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: peoplesnet
+BenchmarkGenerate_Sequential-4   	       2	 734512345 ns/op	211234567 B/op	 1234567 allocs/op
+BenchmarkGenerate_Shards4-4      	       3	 312987654 ns/op	215000000 B/op	 1250000 allocs/op
+BenchmarkETLScan_Parallel        	     200	   5123456 ns/op	  92.41 MB/s	  120345 B/op	     812 allocs/op
+BenchmarkRatio-4                 	      10	    100000 ns/op	       NaN ratio	       0 B/op	       0 allocs/op
+BenchmarkFigure2_MovesPerHotspot 	    Fig 2: never 76.0%  max 20  [paper: 71.9% / 20]
+    Fig 2: never 76.0%  max 20  [paper: 71.9% / 20]
+     574	   1936156 ns/op	  487249 B/op	    2307 allocs/op
+BenchmarkBroken                  	       0	               NaN ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	peoplesnet	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
+	}
+
+	seq := benches[0]
+	if seq.Name != "Generate_Sequential" || seq.Procs != 4 {
+		t.Fatalf("first bench = %q procs %d, want Generate_Sequential/4", seq.Name, seq.Procs)
+	}
+	if seq.Iterations != 2 || seq.NsPerOp != 734512345 {
+		t.Fatalf("first bench iters/ns = %d/%g", seq.Iterations, seq.NsPerOp)
+	}
+	if seq.BytesPerOp != 211234567 || seq.AllocsPerOp != 1234567 {
+		t.Fatalf("first bench mem = %d B/op, %d allocs/op", seq.BytesPerOp, seq.AllocsPerOp)
+	}
+
+	// No -<procs> suffix: procs defaults to 1, custom units land in
+	// Metrics.
+	etl := benches[2]
+	if etl.Name != "ETLScan_Parallel" || etl.Procs != 1 {
+		t.Fatalf("third bench = %q procs %d, want ETLScan_Parallel/1", etl.Name, etl.Procs)
+	}
+	if got := etl.Metrics["MB/s"]; got != 92.41 {
+		t.Fatalf("MB/s metric = %g, want 92.41", got)
+	}
+
+	// Non-finite reported metrics are dropped (encoding/json rejects
+	// them); the benchmark itself still parses.
+	ratio := benches[3]
+	if ratio.Name != "Ratio" {
+		t.Fatalf("fourth bench = %q, want Ratio", ratio.Name)
+	}
+	if _, ok := ratio.Metrics["ratio"]; ok {
+		t.Fatal("NaN metric survived parsing")
+	}
+
+	// A logging benchmark interleaves its b.Log text with the name and
+	// prints the measurement on a continuation line; the parser
+	// bridges the two. A zero-iteration benchmark (NaN ns/op) measured
+	// nothing and is dropped, not fatal.
+	logged := benches[4]
+	if logged.Name != "Figure2_MovesPerHotspot" {
+		t.Fatalf("fifth bench = %q, want Figure2_MovesPerHotspot", logged.Name)
+	}
+	if logged.Iterations != 574 || logged.NsPerOp != 1936156 || logged.AllocsPerOp != 2307 {
+		t.Fatalf("logged bench parsed as %+v", logged)
+	}
+	for _, b := range benches {
+		if b.Name == "Broken" {
+			t.Fatal("zero-iteration benchmark survived parsing")
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	benches, err := parseBench(strings.NewReader("PASS\nok  \tpeoplesnet\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from trailer-only input", len(benches))
+	}
+}

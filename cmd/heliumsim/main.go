@@ -19,6 +19,7 @@ func main() {
 	var (
 		seed   = flag.Uint64("seed", 1, "world seed")
 		scale  = flag.String("scale", "small", "world scale: small | paper")
+		shards = flag.Int("shards", 0, "simulation worker goroutines (0 = all CPUs); any value yields the same chain")
 		out    = flag.String("out", "", "write the chain as JSON lines to this file")
 		report = flag.Bool("report", true, "print the measurement report")
 	)
@@ -34,6 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "heliumsim: unknown scale %q (small|paper)\n", *scale)
 		os.Exit(2)
 	}
+	cfg.Shards = *shards
 
 	world, err := peoplesnet.Simulate(cfg)
 	if err != nil {

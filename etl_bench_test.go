@@ -359,3 +359,20 @@ func BenchmarkETLScan_Parallel(b *testing.B) {
 		}
 	}
 }
+
+// The auto-pick path: workers=0 lets the store estimate matched work
+// from its index counters and available CPUs, falling back to the
+// ordered sequential visit below the crossover. Compare against the
+// _Sequential and _Parallel pins above to verify the heuristic lands
+// on the right side at this scale and CPU count.
+func BenchmarkETLScan_Auto(b *testing.B) {
+	_, s := etlStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n atomic.Int64
+		s.ScanParallel(etl.All(), etl.Filter{}, 0, func(int64, chain.Txn) bool { n.Add(1); return true })
+		if n.Load() == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

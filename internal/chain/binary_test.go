@@ -65,7 +65,7 @@ func binaryTestBlocks(t testing.TB) []*Block {
 		},
 	}
 	for _, b := range blocks {
-		b.Hash = b.computeHash()
+		b.Hash = b.computeHash(nil)
 	}
 	return blocks
 }
@@ -100,7 +100,7 @@ func TestBlockBinaryRoundTrip(t *testing.T) {
 		}
 		// The recomputed hash must match, so a decoded block chains
 		// identically to the original.
-		if got.computeHash() != b.computeHash() {
+		if got.computeHash(nil) != b.computeHash(nil) {
 			t.Errorf("block %d: recomputed hash differs after round trip", b.Height)
 		}
 	}

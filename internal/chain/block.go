@@ -21,16 +21,22 @@ type Block struct {
 }
 
 // computeHash derives the block hash from height, time, parent, and
-// transaction hashes.
-func (b *Block) computeHash() string {
+// transaction hashes. txnHashes, when non-nil, carries precomputed
+// Hash(t) values index-aligned with b.Txns (producers that hash
+// transactions in parallel pass them through); nil recomputes inline.
+func (b *Block) computeHash(txnHashes []string) string {
 	h := sha256.New()
 	var buf [16]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(b.Height))
 	binary.BigEndian.PutUint64(buf[8:], uint64(b.Timestamp.UnixNano()))
 	h.Write(buf[:])
 	h.Write([]byte(b.PrevHash))
-	for _, t := range b.Txns {
-		h.Write([]byte(Hash(t)))
+	for i, t := range b.Txns {
+		if txnHashes != nil {
+			h.Write([]byte(txnHashes[i]))
+		} else {
+			h.Write([]byte(Hash(t)))
+		}
 	}
 	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }
@@ -110,8 +116,20 @@ func (c *Chain) HeightOf(t time.Time) int64 {
 // may be sparse. If any transaction fails validation, no state
 // changes and the error identifies the offender.
 func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
+	return c.AppendBlockHashed(height, txns, nil)
+}
+
+// AppendBlockHashed is AppendBlock for producers that already hold the
+// per-transaction hashes (e.g. computed in parallel while the block
+// was assembled): txnHashes[i] must equal Hash(txns[i]), index-aligned
+// with txns, or nil to compute them here. The resulting block is
+// byte-identical to an AppendBlock of the same transactions.
+func (c *Chain) AppendBlockHashed(height int64, txns []Txn, txnHashes []string) (*Block, error) {
 	if tip := c.Height(); height <= tip {
 		return nil, fmt.Errorf("chain: height %d not beyond tip %d", height, tip)
+	}
+	if txnHashes != nil && len(txnHashes) != len(txns) {
+		return nil, fmt.Errorf("chain: %d txn hashes for %d txns", len(txnHashes), len(txns))
 	}
 	// Validate-all-then-apply-all is not sufficient when later txns
 	// depend on earlier ones in the same block (add_gateway then
@@ -142,7 +160,7 @@ func (c *Chain) AppendBlock(height int64, txns []Txn) (*Block, error) {
 		PrevHash:  prev,
 		Txns:      txns,
 	}
-	b.Hash = b.computeHash()
+	b.Hash = b.computeHash(txnHashes)
 	c.blocks = append(c.blocks, b)
 	// Coalescing notification: a subscriber that has not drained its
 	// signal yet learns about this block on its next poll anyway.

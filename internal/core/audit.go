@@ -189,14 +189,32 @@ func (d *Dataset) AuditIncentives(minReceipts int, silentKm float64) IncentiveAu
 			audit.CliqueSuspects = append(audit.CliqueSuspects, *p)
 		}
 	}
+	// The findings come out of map iteration, so every sort needs a
+	// total order — ties broken by address — or the report's order
+	// would vary with the process's map seed.
 	sort.Slice(audit.SilentMovers, func(i, j int) bool {
-		return audit.SilentMovers[i].MedianWitnessKm > audit.SilentMovers[j].MedianWitnessKm
+		a, b := audit.SilentMovers[i], audit.SilentMovers[j]
+		if a.MedianWitnessKm != b.MedianWitnessKm {
+			return a.MedianWitnessKm > b.MedianWitnessKm
+		}
+		return a.Hotspot < b.Hotspot
 	})
 	sort.Slice(audit.LyingWitness, func(i, j int) bool {
-		return audit.LyingWitness[i].MaxRSSI > audit.LyingWitness[j].MaxRSSI
+		a, b := audit.LyingWitness[i], audit.LyingWitness[j]
+		if a.MaxRSSI != b.MaxRSSI {
+			return a.MaxRSSI > b.MaxRSSI
+		}
+		return a.Witness < b.Witness
 	})
 	sort.Slice(audit.CliqueSuspects, func(i, j int) bool {
-		return audit.CliqueSuspects[i].Count > audit.CliqueSuspects[j].Count
+		a, b := audit.CliqueSuspects[i], audit.CliqueSuspects[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
 	})
 	return audit
 }

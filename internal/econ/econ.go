@@ -7,6 +7,7 @@ package econ
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"peoplesnet/internal/chain"
@@ -98,6 +99,19 @@ type RewardPolicy struct {
 // simulator passes a closure over ledger state.
 type OwnerResolver func(hotspot string) (owner string, ok bool)
 
+// sortedKeys returns a map's keys in sorted order. Reward entries land
+// on the chain, so both the emission order and every floating-point
+// accumulation over these maps must be independent of Go's randomized
+// map iteration for a generated chain to be bit-reproducible.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // ComputeRewards produces the rewards transaction entries for one
 // epoch. HIP10 behaviour (§5.3.2):
 //
@@ -128,34 +142,37 @@ func (p RewardPolicy) ComputeRewards(epoch int64, act EpochActivity, owner Owner
 	// Challenger tranche: flat per challenge (§2.3: "Challenger
 	// rewards are fixed").
 	challengerPool := mint * p.Split.Challenger
+	challengerKeys := sortedKeys(act.ChallengesByChallenger)
 	totalChallenges := 0
-	for _, n := range act.ChallengesByChallenger {
-		totalChallenges += n
+	for _, hs := range challengerKeys {
+		totalChallenges += act.ChallengesByChallenger[hs]
 	}
 	if totalChallenges > 0 {
 		per := challengerPool / float64(totalChallenges)
-		for hs, n := range act.ChallengesByChallenger {
-			add(hs, per*float64(n), chain.RewardChallenger)
+		for _, hs := range challengerKeys {
+			add(hs, per*float64(act.ChallengesByChallenger[hs]), chain.RewardChallenger)
 		}
 	}
 
 	// Data tranche.
 	dataPool := mint * p.Split.Data
+	dataKeys := sortedKeys(act.DataDC)
 	var totalDC int64
-	for _, dc := range act.DataDC {
-		totalDC += dc
+	for _, hs := range dataKeys {
+		totalDC += act.DataDC[hs]
 	}
 	surplus := 0.0
 	if totalDC > 0 {
 		if !p.HIP10 {
-			for hs, dc := range act.DataDC {
-				add(hs, dataPool*float64(dc)/float64(totalDC), chain.RewardData)
+			for _, hs := range dataKeys {
+				add(hs, dataPool*float64(act.DataDC[hs])/float64(totalDC), chain.RewardData)
 			}
 		} else {
 			// Cap at DC value in HNT.
 			bonesPerDC := chain.USDPerDC / p.USDPerHNT * chain.BonesPerHNT
 			spent := 0.0
-			for hs, dc := range act.DataDC {
+			for _, hs := range dataKeys {
+				dc := act.DataDC[hs]
 				share := dataPool * float64(dc) / float64(totalDC)
 				cap := float64(dc) * bonesPerDC
 				if share > cap {
@@ -181,23 +198,25 @@ func (p RewardPolicy) ComputeRewards(epoch int64, act EpochActivity, owner Owner
 			witnessPool += surplus * p.Split.Witness / total
 		}
 	}
+	beaconKeys := sortedKeys(act.ChallengeesBeaconed)
 	totalBeacons := 0
-	for _, n := range act.ChallengeesBeaconed {
-		totalBeacons += n
+	for _, hs := range beaconKeys {
+		totalBeacons += act.ChallengeesBeaconed[hs]
 	}
 	if totalBeacons > 0 {
 		per := beaconPool / float64(totalBeacons)
-		for hs, n := range act.ChallengeesBeaconed {
-			add(hs, per*float64(n), chain.RewardChallengee)
+		for _, hs := range beaconKeys {
+			add(hs, per*float64(act.ChallengeesBeaconed[hs]), chain.RewardChallengee)
 		}
 	}
+	witnessKeys := sortedKeys(act.WitnessQuality)
 	totalQuality := 0.0
-	for _, q := range act.WitnessQuality {
-		totalQuality += q
+	for _, hs := range witnessKeys {
+		totalQuality += act.WitnessQuality[hs]
 	}
 	if totalQuality > 0 {
-		for hs, q := range act.WitnessQuality {
-			add(hs, witnessPool*q/totalQuality, chain.RewardWitness)
+		for _, hs := range witnessKeys {
+			add(hs, witnessPool*act.WitnessQuality[hs]/totalQuality, chain.RewardWitness)
 		}
 	}
 

@@ -3,6 +3,7 @@ package etl
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -592,7 +593,11 @@ func TestScanParallelAutoPick(t *testing.T) {
 		t.Errorf("autoWorkers(small store) = %d, want 1", w)
 	}
 
-	// Many fat segments clear both bars on an unfiltered scan.
+	// Many fat segments clear both bars on an unfiltered scan. The
+	// pool is capped by the CPUs actually available — on a single-CPU
+	// process the auto pick never parallelizes, so pin GOMAXPROCS for
+	// the duration to make the expectation machine-independent.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(16))
 	fat := make([]*segment, 12)
 	for i := range fat {
 		fat[i] = &segment{txns: 1 << 16}
@@ -600,6 +605,17 @@ func TestScanParallelAutoPick(t *testing.T) {
 	if w := autoWorkers(fat, Filter{}); w != 8 {
 		t.Errorf("autoWorkers(fat, unfiltered) = %d, want 8", w)
 	}
+	// A single-CPU process always scans sequentially.
+	runtime.GOMAXPROCS(1)
+	if w := autoWorkers(fat, Filter{}); w != 1 {
+		t.Errorf("autoWorkers(fat, 1 CPU) = %d, want 1", w)
+	}
+	// With a few CPUs the pool is capped at the CPU count.
+	runtime.GOMAXPROCS(4)
+	if w := autoWorkers(fat, Filter{}); w != 4 {
+		t.Errorf("autoWorkers(fat, 4 CPUs) = %d, want 4", w)
+	}
+	runtime.GOMAXPROCS(16)
 	// A narrow actor filter matches almost nothing: sequential.
 	if w := autoWorkers(fat, Filter{Actors: []string{"hs-0"}}); w != 1 {
 		t.Errorf("autoWorkers(fat, narrow actor) = %d, want 1", w)

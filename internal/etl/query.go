@@ -2,6 +2,7 @@ package etl
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -179,12 +180,18 @@ func (s *Store) ScanParallel(r Range, f Filter, workers int, fn func(height int6
 const (
 	scanParallelMinSegments = 4
 	scanParallelMinTxns     = 1 << 18
+	scanParallelMaxWorkers  = 8
 )
 
 // autoWorkers sizes the pool from the work the filter will actually
-// match, estimated from index counters without touching any block.
+// match, estimated from index counters without touching any block, and
+// from the CPUs actually available: on a single-CPU process the pool
+// only adds dispatch and contention on top of the same serial work, so
+// the auto pick never parallelizes there (EXPERIMENTS.md "Parallel
+// scan", 1-core row).
 func autoWorkers(segs []*segment, f Filter) int {
-	if len(segs) < scanParallelMinSegments {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 || len(segs) < scanParallelMinSegments {
 		return 1
 	}
 	var est int64
@@ -195,8 +202,11 @@ func autoWorkers(segs []*segment, f Filter) int {
 		return 1
 	}
 	w := len(segs)
-	if w > 8 {
-		w = 8
+	if w > procs {
+		w = procs
+	}
+	if w > scanParallelMaxWorkers {
+		w = scanParallelMaxWorkers
 	}
 	return w
 }

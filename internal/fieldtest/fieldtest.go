@@ -187,9 +187,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("fieldtest: no hotspots")
 	}
 	rng := stats.NewRNG(cfg.Seed)
-	devRNG := rng.Split()
-	radioRNG := rng.Split()
-	routerRNG := rng.Split()
+	devRNG := rng.Split("devices")
+	radioRNG := rng.Split("radio")
+	routerRNG := rng.Split("router")
 
 	// Router with a latency sampler that the driver parameterizes per
 	// packet (base + jitter + relay penalty via closure state).

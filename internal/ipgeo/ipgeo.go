@@ -245,6 +245,18 @@ const HotspotPort = 44158
 // Attach provisions a subscriber in the market: picks a provider by
 // local share, rolls NAT, and allocates a public IP when reachable.
 func (r *Registry) Attach(m Market, rng *stats.RNG) Attachment {
+	att := AttachLine(m, rng)
+	r.AssignIP(&att)
+	return att
+}
+
+// AttachLine picks the subscriber line only — provider by local
+// share, NAT roll — without allocating a public IP. It touches no
+// Registry state, so concurrent workers may call it with their own
+// RNGs; the caller later runs AssignIP on the reachable attachments in
+// a deterministic order (IP allocation is a sequential per-ASN
+// counter, so allocation order is part of the world's identity).
+func AttachLine(m Market, rng *stats.RNG) Attachment {
 	if len(m.ISPs) == 0 {
 		return Attachment{NATed: true}
 	}
@@ -264,10 +276,17 @@ func (r *Registry) Attach(m Market, rng *stats.RNG) Attachment {
 	att := Attachment{ISP: isp, ASN: isp.ASN, Port: HotspotPort}
 	if rng.Bool(isp.NATProb) {
 		att.NATed = true
-		return att
 	}
-	att.PublicIP = r.allocIP(isp)
 	return att
+}
+
+// AssignIP allocates the attachment's public IP if it is reachable
+// (non-NAT, provider known) and still unassigned.
+func (r *Registry) AssignIP(att *Attachment) {
+	if att.NATed || att.ISP == nil || att.PublicIP.IsValid() {
+		return
+	}
+	att.PublicIP = r.allocIP(att.ISP)
 }
 
 // AttachCloud provisions a cloud-hosted node (validators).

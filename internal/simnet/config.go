@@ -24,6 +24,16 @@ import (
 type Config struct {
 	Seed uint64
 
+	// Shards is how many worker goroutines Generate runs the
+	// per-region simulation steps on; 0 (or negative) auto-picks
+	// GOMAXPROCS. The generated chain is bit-identical for every
+	// value: the world is always decomposed into the same fixed set of
+	// geographic regions, each with its own label-split RNG stream,
+	// and per-day event buffers merge in a deterministic
+	// (day, region, sequence) order — Shards only chooses how many OS
+	// threads execute those regions concurrently.
+	Shards int
+
 	// Start and Days bound the simulated timeline. The paper's window
 	// is 2019-07-29 through 2021-05-26 (667 days).
 	Start time.Time

@@ -7,6 +7,30 @@ import (
 	"peoplesnet/internal/stats"
 )
 
+// regionCount is the fixed number of logical simulation regions the
+// world is partitioned into. It is a constant — independent of
+// cfg.Shards — so the region decomposition, and therefore every RNG
+// stream and the merged ledger, is identical no matter how many
+// workers execute the regions. 24 regions keep the largest region
+// well under ~15% of the fleet (EXPERIMENTS.md "World generation"),
+// which bounds the critical path of the parallel day step.
+const regionCount = 24
+
+// regionOfPoint maps a location to its region: a ~4°×4° geographic
+// grid cell, hashed onto the region set. Grid cells are much wider
+// than the 70 km PoC consider radius, so challenge/witness locality
+// stays almost entirely intra-region, while the hash spreads the
+// hundreds of populated cells evenly across regions.
+func regionOfPoint(p geo.Point) int {
+	gy := uint64((p.Lat + 90) / 4)  // lat ∈ [-90, 90] → non-negative
+	gx := uint64((p.Lon + 180) / 4) // lon ∈ [-180, 180]
+	h := gy*0x9e3779b97f4a7c15 ^ gx*0xc2b2ae3d27d4eb4f
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % regionCount)
+}
+
 // City is one population center hotspots can appear in.
 type City struct {
 	Name       string

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// chainFingerprint folds every block's (height, hash) into one
+// canonical digest of the whole ledger history.
+func chainFingerprint(r *Result) string {
+	h := sha256.New()
+	for _, b := range r.Chain.Blocks() {
+		fmt.Fprintf(h, "%d %s\n", b.Height, b.Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// miniConfig is the small world used for shard-invariance and golden
+// checks: big enough to exercise every subsystem (growth, moves, PoC,
+// resale, traffic), small enough to generate in well under a second.
+func miniConfig(seed uint64) Config {
+	cfg := TestConfig(seed)
+	cfg.Days = 120
+	cfg.TargetHotspots = 300
+	return cfg
+}
+
+// TestShardCountInvariance is the tentpole contract: cfg.Shards picks
+// how many goroutines execute the fixed region decomposition, and
+// nothing else. The same seed must produce the bit-identical block
+// sequence at every worker count. Run under -race this also exercises
+// the worker-phase ownership discipline.
+func TestShardCountInvariance(t *testing.T) {
+	results := map[int]*Result{}
+	for _, shards := range []int{1, 4, regionCount} {
+		cfg := miniConfig(11)
+		cfg.Shards = shards
+		res, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		results[shards] = res
+	}
+	ref := results[1].Chain.Blocks()
+	for _, shards := range []int{4, regionCount} {
+		got := results[shards].Chain.Blocks()
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d blocks, sequential made %d", shards, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Height != ref[i].Height || got[i].Hash != ref[i].Hash {
+				t.Fatalf("shards=%d: block %d diverged: height %d/%d hash %s/%s",
+					shards, i, got[i].Height, ref[i].Height, got[i].Hash, ref[i].Hash)
+			}
+		}
+	}
+}
+
+// TestGoldenChainHashes pins the canonical chain digest per (seed,
+// scale). Any change to the generator's draw order, the region
+// decomposition, the merge order, or the transaction wire encoding
+// shows up here as a hash mismatch — bump the constants only for a
+// deliberate world change, never to quiet an accidental one.
+func TestGoldenChainHashes(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		shards int
+		want   string
+	}{
+		{"mini-seed7-seq", miniConfig(7), 1, "758e8f156270c475275ce36740831bda"},
+		{"mini-seed7-sharded", miniConfig(7), 4, "758e8f156270c475275ce36740831bda"},
+		{"mini-seed11-seq", miniConfig(11), 1, "0e5ed4ae98a14cd0b78f234f654231a5"},
+		{"mini-seed11-sharded", miniConfig(11), regionCount, "0e5ed4ae98a14cd0b78f234f654231a5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Shards = tc.shards
+			res, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := chainFingerprint(res); got != tc.want {
+				t.Fatalf("chain fingerprint = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenTestWorld pins the full 1/20-scale world every other test
+// in this package reads (TestConfig(7), all 667 days).
+func TestGoldenTestWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full test world")
+	}
+	const want = "dff07029cc8a8adf2a26f452ab3f5637"
+	if got := chainFingerprint(testWorld(t)); got != want {
+		t.Fatalf("test-world fingerprint = %s, want %s", got, want)
+	}
+}

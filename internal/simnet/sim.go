@@ -3,7 +3,10 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/econ"
@@ -11,6 +14,7 @@ import (
 	"peoplesnet/internal/h3lite"
 	"peoplesnet/internal/p2p"
 	"peoplesnet/internal/poc"
+	"peoplesnet/internal/stats"
 )
 
 // Result is a generated world: the chain every §4–§7 analysis reads,
@@ -34,43 +38,61 @@ type Result struct {
 	USOnlineByDay  []int
 }
 
-// simulator carries the loop state.
+// simulator is the coordinator of sharded generation. It owns every
+// order-dependent global: the owner roster and address counter, the
+// growth curve, funding, OUI/router and state-channel transactions,
+// resale execution, rewards, the ledger itself. Each day it plans the
+// day's adds, dispatches them to the per-region workers (region.go),
+// waits at the barrier, and merges the regions' outputs in fixed
+// region order before flushing blocks.
 type simulator struct {
 	cfg Config
 	w   *World
 	c   *chain.Chain
 	res *Result
 
-	engine    *poc.Engine
-	fleet     *poc.Fleet
-	fleetDay  int
-	onlineIdx []int // indexes of online hotspots at last fleet build
+	rng     *stats.RNG // coordinator decision stream
+	engine  *poc.Engine
+	regions []*regionSim
+	workers int
 
 	consoleWallet string
 	exchange      string
 	thirdOUIs     []ouiState
 
-	// cliques tracks unfilled gossip cliques: city index → clique id.
-	cliqueCity  int
-	cliqueFill  map[int]int
-	megaOwner   *Owner
-	outlier     *HotspotState
-	pools       []*poolState
-	fleetOwners map[string][]*Owner
+	cliqueCity     int
+	megaOwner      *Owner
+	outlierPlanned bool
+	pools          []*poolState
+	fleetOwners    map[string][]*Owner
 
 	scNonce      int64
-	dayTxns      []chain.Txn
 	zeroLeft     int
 	rewardPol    econ.RewardPolicy
 	prices       econ.PriceSeries
 	resaleQueue  []resaleEvent
 	dataHotspots []int // recent data-ferrying hotspot indexes
 
-	// dayActivity accumulates per-day reward inputs.
+	// earlyBuf collects the coordinator's pre-barrier transactions
+	// (funding, OUI registrations), lateBuf its post-barrier ones
+	// (resales, traffic, rewards). The day's merge order is
+	// earlyBuf ++ region buffers (region order) ++ lateBuf, so intra-
+	// day dependencies hold: wallets are funded before their hotspots
+	// appear, and adds precede the channel closes that pay them.
+	earlyBuf dayBuffer
+	lateBuf  dayBuffer
+	cur      *dayBuffer // where emit() lands in the current phase
+
+	// Merged per-day reward inputs (regions summed at the barrier,
+	// traffic DC added by the coordinator).
 	dayChallenger map[string]int
 	dayBeacons    map[string]int
 	dayWitness    map[string]float64
 	dayDataDC     map[string]int64
+
+	// flush scratch, reused across days.
+	mergedTxns   []chain.Txn
+	mergedHashes []string
 }
 
 type ouiState struct {
@@ -86,11 +108,15 @@ type poolState struct {
 	bornDay int
 }
 
-// Generate builds the world. It is deterministic in cfg.Seed.
+// Generate builds the world. It is deterministic in cfg.Seed — and in
+// cfg.Seed only: cfg.Shards changes how many goroutines execute the
+// fixed region decomposition, never the output (golden_test.go pins
+// this).
 func Generate(cfg Config) (*Result, error) {
 	if cfg.Days <= 0 || cfg.TargetHotspots <= 0 {
 		return nil, fmt.Errorf("simnet: invalid config (days=%d, target=%d)", cfg.Days, cfg.TargetHotspots)
 	}
+	master := stats.NewRNG(cfg.Seed)
 	w := newWorld(cfg)
 	c := chain.NewChain(cfg.Start)
 	c.Ledger().SetPoCInterval(1) // sampled challenges are sparse already
@@ -98,10 +124,10 @@ func Generate(cfg Config) (*Result, error) {
 	s := &simulator{
 		cfg: cfg, w: w, c: c,
 		res:           &Result{Cfg: cfg, Chain: c, World: w},
+		rng:           master.Split("coordinator"),
 		engine:        poc.NewEngine(),
 		consoleWallet: "sim1console-wallet",
 		exchange:      "sim1exchange",
-		cliqueFill:    map[int]int{},
 		fleetOwners:   map[string][]*Owner{},
 	}
 	// 70 km keeps the elevated-antenna witness tail (Fig 13) while
@@ -109,11 +135,19 @@ func Generate(cfg Config) (*Result, error) {
 	s.engine.ConsiderRadiusKm = 70
 	s.engine.MaxCandidates = 150
 	s.zeroLeft = cfg.ZeroZeroCount
-	s.prices = econ.GeneratePrices(cfg.Start, cfg.Days, w.rng.Split())
+	s.prices = econ.GeneratePrices(cfg.Start, cfg.Days, master.Split("prices"))
 	s.rewardPol = econ.RewardPolicy{
 		Split:             econ.DefaultSplit(),
 		USDPerHNT:         2, // updated daily from the price series
 		SecuritiesAccount: "sim1helium-securities",
+	}
+
+	s.workers = cfg.Shards
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.workers > regionCount {
+		s.workers = regionCount
 	}
 
 	// Genesis block: console OUIs, funding, exchange.
@@ -129,11 +163,11 @@ func Generate(cfg Config) (*Result, error) {
 
 	// Third-party OUIs appear over the timeline; OUI numbers are
 	// handed out in registration (birth) order.
-	ouiSpan := maxi(1, cfg.Days-150)
+	ouiSpan := max(1, cfg.Days-150)
 	for i := 0; i < cfg.ThirdPartyOUIs; i++ {
 		s.thirdOUIs = append(s.thirdOUIs, ouiState{
 			wallet:  fmt.Sprintf("sim1router-%02d", i),
-			bornDay: mini(cfg.Days-1, 100+w.rng.Intn(ouiSpan)),
+			bornDay: min(cfg.Days-1, 100+s.rng.Intn(ouiSpan)),
 		})
 	}
 	sort.Slice(s.thirdOUIs, func(i, j int) bool { return s.thirdOUIs[i].bornDay < s.thirdOUIs[j].bornDay })
@@ -150,52 +184,166 @@ func Generate(cfg Config) (*Result, error) {
 			cityIdx = w.usCityIdx[0]
 		}
 		s.pools = append(s.pools, &poolState{
-			city: cityIdx, target: cfg.PoolTargetSize, bornDay: 250 + w.rng.Intn(200),
+			city: cityIdx, target: cfg.PoolTargetSize, bornDay: 250 + s.rng.Intn(200),
 		})
 	}
 	// A clique city for colluding witnesses.
 	s.cliqueCity, _ = w.cityByName("Phoenix")
 
-	// The daily loop.
+	// The regions. Each gets its own labelled RNG stream split from
+	// the master seed, so its randomness is identical whether one
+	// goroutine runs all regions or each has its own.
+	s.regions = make([]*regionSim, regionCount)
+	for i := range s.regions {
+		s.regions[i] = newRegionSim(i, s, master)
+	}
+
+	// The daily loop: plan (coordinator) → simulate (region workers)
+	// → merge and settle (coordinator) → flush blocks.
 	for day := 0; day < cfg.Days; day++ {
 		s.beginDay()
 		s.stepGrowth(day)
-		s.stepMoves(day)
-		s.stepResale(day)
 		s.stepOUIs(day)
-		s.stepPoC(day)
+		s.runRegions(day)
+		s.mergeRegions(day)
+		s.stepResale(day)
 		s.stepTraffic(day)
 		s.stepRewards(day)
-		s.stepChurn(day)
+		s.stepOutages(day)
 		if err := s.flushDay(day); err != nil {
 			return nil, fmt.Errorf("simnet: day %d: %w", day, err)
 		}
 		s.recordDay(day)
 	}
-	s.buildPeerbook()
+	s.buildPeerbook(master.Split("peerbook"))
 	return s.res, nil
 }
 
 func (s *simulator) beginDay() {
-	s.dayTxns = s.dayTxns[:0]
+	s.earlyBuf.reset()
+	s.lateBuf.reset()
+	s.cur = &s.earlyBuf
+	for _, r := range s.regions {
+		r.inbox = r.inbox[:0]
+	}
 	s.dayChallenger = map[string]int{}
 	s.dayBeacons = map[string]int{}
 	s.dayWitness = map[string]float64{}
 	s.dayDataDC = map[string]int64{}
 }
 
-// emit schedules a txn for the current day. Emission order is
-// preserved into block order, so intra-day dependencies (an add
-// before the close that pays its hotspot, assert nonces) always hold;
-// flushDay spreads the sequence across the day's 24 hourly blocks.
+// emit schedules a coordinator transaction for the current day, into
+// the buffer of the current phase (earlyBuf before the worker barrier,
+// lateBuf after). Emission order is preserved into block order, so
+// intra-day dependencies (a funding coinbase before the add it pays
+// for, an add before the close that pays its hotspot) always hold.
 func (s *simulator) emit(t chain.Txn) {
-	s.dayTxns = append(s.dayTxns, t)
+	s.cur.emit(t)
 }
 
-// flushDay appends the day's transactions as hourly blocks, mapping
-// emission index i of n to hour i·24/n.
+// runRegions executes the day's worker phase: every region's runDay,
+// on up to s.workers goroutines. Regions are claimed from an atomic
+// counter — which regions run on which goroutine varies, but regions
+// share no mutable state and each owns its RNG stream, so scheduling
+// cannot affect the outputs.
+func (s *simulator) runRegions(day int) {
+	if s.workers <= 1 {
+		for _, r := range s.regions {
+			r.runDay(day)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(s.regions) {
+					return
+				}
+				s.regions[n].runDay(day)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeRegions settles the worker phase at the day barrier, in fixed
+// region order: allocate the deferred public IPs, sum the reward
+// accounting, queue the resale plans, count PoC, and apply region
+// migrations. After this the coordinator's post-phase (resale,
+// traffic, rewards) sees a consistent world.
+func (s *simulator) mergeRegions(day int) {
+	s.cur = &s.lateBuf
+	for _, r := range s.regions {
+		for _, h := range r.pendingIP {
+			s.w.Registry.AssignIP(&h.Attachment)
+		}
+		s.resaleQueue = append(s.resaleQueue, r.resalePlans...)
+		s.res.MaterializedPoC += 2 * r.challenges
+		s.res.NotionalPoC += r.challenges * int64(2*s.cfg.PoCWeight)
+		for a, n := range r.dayChallenger {
+			s.dayChallenger[a] += n
+		}
+		for a, n := range r.dayBeacons {
+			s.dayBeacons[a] += n
+		}
+		for a, q := range r.dayWitness {
+			s.dayWitness[a] += q
+		}
+	}
+	// Migrations last, so a region's emigrant list still refers to the
+	// membership its worker saw.
+	for _, r := range s.regions {
+		for _, idx := range r.emigrants {
+			h := s.w.Hotspots[idx]
+			nr := regionOfPoint(h.Actual)
+			if nr == h.region {
+				continue
+			}
+			s.regions[h.region].removeMember(idx)
+			s.regions[nr].hotspots = append(s.regions[nr].hotspots, idx)
+			h.region = nr
+		}
+	}
+}
+
+// stepOutages applies any §6.1 regional ISP outage transitions for the
+// day. Outage injection consumes no randomness, so adding an
+// OutageEvent perturbs nothing else.
+func (s *simulator) stepOutages(day int) {
+	for _, ev := range s.cfg.Outages {
+		switch day {
+		case ev.Day:
+			s.setRegionalOutage(ev, true)
+		case ev.Day + max(1, ev.Days):
+			s.setRegionalOutage(ev, false)
+		}
+	}
+}
+
+// flushDay merges the day's buffers — coordinator early, regions in
+// region order, coordinator late — and appends the sequence as hourly
+// blocks, mapping merged index i of n to hour i·24/n. Per-transaction
+// hashes were computed at emission (on the worker goroutines for
+// region transactions), so the append path only hashes block headers.
 func (s *simulator) flushDay(day int) error {
-	n := len(s.dayTxns)
+	s.mergedTxns = s.mergedTxns[:0]
+	s.mergedHashes = s.mergedHashes[:0]
+	appendBuf := func(b *dayBuffer) {
+		s.mergedTxns = append(s.mergedTxns, b.txns...)
+		s.mergedHashes = append(s.mergedHashes, b.hashes...)
+	}
+	appendBuf(&s.earlyBuf)
+	for _, r := range s.regions {
+		appendBuf(&r.buf)
+	}
+	appendBuf(&s.lateBuf)
+
+	n := len(s.mergedTxns)
 	if n == 0 {
 		return nil
 	}
@@ -206,9 +354,9 @@ func (s *simulator) flushDay(day int) error {
 		for j < n && j*24/n == hour {
 			j++
 		}
-		txns := append([]chain.Txn(nil), s.dayTxns[i:j]...)
+		txns := append([]chain.Txn(nil), s.mergedTxns[i:j]...)
 		height := int64(day*24+hour)*60 + 2 // +2 clears the genesis block at height 1
-		if _, err := s.c.AppendBlock(height, txns); err != nil {
+		if _, err := s.c.AppendBlockHashed(height, txns, s.mergedHashes[i:j]); err != nil {
 			return err
 		}
 		i = j
@@ -228,10 +376,10 @@ func (s *simulator) growthAdds(day int) int {
 	// 1.15 divisor removes the lumps' mean so cumulative adds still
 	// land on TargetHotspots.
 	lump := 1.0
-	if s.w.rng.Bool(0.1) {
-		lump = 1.5 + s.w.rng.Float64()*2
+	if s.rng.Bool(0.1) {
+		lump = 1.5 + s.rng.Float64()*2
 	}
-	return s.w.rng.Poisson(base * lump / 1.15)
+	return s.rng.Poisson(base * lump / 1.15)
 }
 
 func (s *simulator) recordDay(day int) {
@@ -252,7 +400,7 @@ func (s *simulator) recordDay(day int) {
 
 // buildPeerbook snapshots the final p2p swarm: public hotspots listen
 // on /ip4 addresses; NAT'd ones pick a random public relay (§6.2).
-func (s *simulator) buildPeerbook() {
+func (s *simulator) buildPeerbook(rng *stats.RNG) {
 	pb := p2p.NewPeerbook()
 	var public []p2p.Entry
 	var nated []*HotspotState
@@ -282,15 +430,15 @@ func (s *simulator) buildPeerbook() {
 	sel := p2p.RandomRelay{}
 	var popular []p2p.PeerID
 	for i := 0; i < 10 && i < len(public); i++ {
-		popular = append(popular, public[s.w.rng.Intn(len(public))].Peer)
+		popular = append(popular, public[rng.Intn(len(public))].Peer)
 	}
 	for _, h := range nated {
 		var relay p2p.PeerID
-		if len(popular) > 0 && s.w.rng.Bool(0.012) {
-			relay = popular[s.w.rng.Intn(len(popular))]
+		if len(popular) > 0 && rng.Bool(0.012) {
+			relay = popular[rng.Intn(len(popular))]
 		} else {
 			var ok bool
-			relay, ok = sel.Select(h.Asserted, public, s.w.rng)
+			relay, ok = sel.Select(h.Asserted, public, rng)
 			if !ok {
 				continue
 			}
@@ -307,4 +455,10 @@ func (s *simulator) buildPeerbook() {
 // assertCell encodes a point at the on-chain resolution.
 func assertCell(p geo.Point) h3lite.Cell {
 	return h3lite.FromLatLon(p, 12)
+}
+
+// sortMovesByDay day-sorts a move plan (stable: planned order breaks
+// same-day ties).
+func sortMovesByDay(moves []moveEvent) {
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Day < moves[j].Day })
 }

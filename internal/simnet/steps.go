@@ -1,28 +1,35 @@
 package simnet
 
+// steps.go is the coordinator half of the daily loop: everything whose
+// order matters globally — owner choice and address minting, funding,
+// validator adds, OUI registrations, resale execution. The
+// embarrassingly-local per-hotspot steps live in region.go and run on
+// the region workers.
+
 import (
 	"math"
-	"sort"
 	"time"
 
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/econ"
 	"peoplesnet/internal/geo"
-	"peoplesnet/internal/poc"
 )
 
 // ---------------------------------------------------------------------------
 // Growth & ownership (§4.2, §4.3)
 
-// stepGrowth adds the day's new hotspots.
+// stepGrowth plans the day's new hotspots: the coordinator decides
+// ownership, city, and address (order-dependent global state), then
+// dispatches each add to its region's inbox for placement, line
+// attachment, and transaction emission during the worker phase.
 func (s *simulator) stepGrowth(day int) {
 	adds := s.growthAdds(day)
 	for i := 0; i < adds; i++ {
-		s.addHotspot(day)
+		s.planAdd(day)
 	}
 	// Validator lookalikes trickle in near the end of the window
 	// (§6.1: cloud-hosted "hotspots" on Digital Ocean and Amazon).
-	if day > s.cfg.Days-120 && s.w.rng.Bool(validatorPerDayProb(s.cfg)) {
+	if day > s.cfg.Days-120 && s.rng.Bool(validatorPerDayProb(s.cfg)) {
 		s.addValidator(day)
 	}
 }
@@ -35,7 +42,7 @@ func validatorPerDayProb(cfg Config) float64 {
 
 // chooseOwner decides who owns a new hotspot.
 func (s *simulator) chooseOwner(day int) *Owner {
-	rng := s.w.rng
+	rng := s.rng
 
 	// Mega owner absorbs a share of late adds (max owner 1,903 by
 	// May 2021, §4.3).
@@ -85,7 +92,7 @@ func (s *simulator) chooseOwner(day int) *Owner {
 	// Otherwise: fresh individual or preferential attachment.
 	if rng.Bool(s.cfg.NewOwnerProb) || len(s.w.Owners) == 0 {
 		intl := rng.Bool(s.intlShare(day))
-		o := s.w.newOwner(Individual, s.w.pickCity(day, intl))
+		o := s.w.newOwner(Individual, s.w.pickCity(rng, day, intl))
 		s.fundOwner(o, day)
 		return o
 	}
@@ -103,7 +110,7 @@ func (s *simulator) chooseOwner(day int) *Owner {
 		}
 	}
 	if best.Class != Individual {
-		o := s.w.newOwner(Individual, s.w.pickCity(day, rng.Bool(s.intlShare(day))))
+		o := s.w.newOwner(Individual, s.w.pickCity(rng, day, rng.Bool(s.intlShare(day))))
 		s.fundOwner(o, day)
 		return o
 	}
@@ -127,44 +134,29 @@ func (s *simulator) intlShare(day int) float64 {
 	return s.cfg.IntlShareEnd * float64(day-s.cfg.InternationalLaunchDay) / span
 }
 
-// fundOwner seeds a wallet with fee money via coinbase txns.
+// fundOwner seeds a wallet with fee money via coinbase txns. Emitted
+// during planning (earlyBuf), so the wallet exists on-chain before any
+// same-day hotspot the regions add for it.
 func (s *simulator) fundOwner(o *Owner, day int) {
 	s.emit(&chain.DCCoinbase{Payee: o.Address, AmountDC: 500_000_000})
 	s.emit(&chain.SecurityCoinbase{Payee: o.Address, AmountBones: 50 * chain.BonesPerHNT})
 }
 
-// addHotspot creates one hotspot: ownership, placement, ISP attach,
-// move plan, cheat profile, and the add/assert transactions.
-func (s *simulator) addHotspot(day int) *HotspotState {
-	rng := s.w.rng
+// planAdd creates one hotspot's global identity — owner, city,
+// address, the zero-first and outlier flags — and hands the rest
+// (placement, line, cheats, plans, transactions) to its region.
+func (s *simulator) planAdd(day int) {
+	rng := s.rng
 	owner := s.chooseOwner(day)
 
 	// Placement: pools and commercial fleets deploy in their city;
 	// individuals deploy at home (occasionally travelling).
 	city := owner.HomeCity
 	if owner.Class == Individual && rng.Bool(0.08) {
-		city = s.w.pickCity(day, rng.Bool(s.intlShare(day)))
+		city = s.w.pickCity(rng, day, rng.Bool(s.intlShare(day)))
 	}
 	if owner.Class == MegaOwner {
-		city = s.w.pickCity(day, false) // distributed across the US (Fig 6)
-	}
-	loc := s.w.placeInCity(city)
-	if owner.Class == MiningPool {
-		// Pools space hotspots out for reward efficiency (§4.3.2):
-		// resample until ≥1 km from the pool's other hotspots.
-		for tries := 0; tries < 8; tries++ {
-			ok := true
-			for _, idx := range owner.Hotspots {
-				if geo.HaversineKm(loc, s.w.Hotspots[idx].Asserted) < 1.0 {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				break
-			}
-			loc = s.w.placeInCity(city)
-		}
+		city = s.w.pickCity(rng, day, false) // distributed across the US (Fig 6)
 	}
 
 	h := &HotspotState{
@@ -173,56 +165,29 @@ func (s *simulator) addHotspot(day int) *HotspotState {
 		OwnerIdx: owner.Index,
 		City:     city,
 		AddedDay: day,
-		Actual:   loc,
 		Online:   true,
+		region:   s.w.regionOfCity[city],
 	}
 	owner.Hotspots = append(owner.Hotspots, h.Index)
 	s.w.Hotspots = append(s.w.Hotspots, h)
 
-	// ISP attachment.
-	h.Attachment = s.w.Registry.Attach(s.w.market(city), rng)
-
-	// A few percent of handlers install elevated, high-gain antennas,
-	// producing the long witness-distance tail of Fig 13.
-	h.Elevated = rng.Bool(0.04)
-
-	// Cheats.
-	if rng.Bool(s.cfg.RSSIForgerFrac) {
-		h.Cheat.ForgeRSSI = true
-	}
-	if rng.Bool(s.cfg.AbsurdRSSIFrac) {
-		h.Cheat.AbsurdRSSI = true
-	}
-	if city == s.cliqueCity && s.cfg.CliqueCount > 0 {
-		for cl := 1; cl <= s.cfg.CliqueCount; cl++ {
-			if s.cliqueFill[cl] < s.cfg.CliqueSize {
-				s.cliqueFill[cl]++
-				h.Cheat.Clique = cl
-				break
-			}
-		}
-	}
-
-	s.emit(&chain.AddGateway{Gateway: h.Address, Owner: owner.Address, Maker: maker(day)})
-
-	// First assertion: usually the real spot, occasionally the (0,0)
-	// GPS-failure artifact that gets corrected later (§4.1).
-	first := loc
+	// Occasionally the first assertion is the (0,0) GPS-failure
+	// artifact that gets corrected later (§4.1). The budget is global,
+	// so the coordinator rolls it.
 	zeroFirst := s.zeroLeft > 0 && rng.Bool(float64(s.cfg.ZeroZeroCount)/float64(s.cfg.TargetHotspots))
 	if zeroFirst {
 		s.zeroLeft--
-		first = geo.Point{}
 	}
-	h.Asserted = first
-	h.Cell = assertCell(first)
-	h.AssertNonce = 1
-	s.emit(&chain.AssertLocation{
-		Gateway: h.Address, Owner: owner.Address, Location: h.Cell, Nonce: 1,
-	})
+	// The paper's twenty-move outlier: the mega owner's first hotspot.
+	outlier := false
+	if !s.outlierPlanned && owner.Class == MegaOwner {
+		outlier = true
+		s.outlierPlanned = true
+	}
 
-	s.planMoves(h, owner, day, zeroFirst)
-	s.planResale(h, day)
-	return h
+	r := s.regions[h.region]
+	r.hotspots = append(r.hotspots, h.Index)
+	r.inbox = append(r.inbox, addOrder{hIdx: h.Index, zeroFirst: zeroFirst, outlier: outlier})
 }
 
 // maker labels vendor batches by era.
@@ -242,9 +207,11 @@ func maker(day int) string {
 }
 
 // addValidator creates a cloud-hosted validator lookalike: appears as
-// a hotspot on the chain, never witnesses or ferries data.
+// a hotspot on the chain, never witnesses or ferries data. Validators
+// have no location and no radio, so no region simulates them — the
+// coordinator finishes them inline.
 func (s *simulator) addValidator(day int) {
-	rng := s.w.rng
+	rng := s.rng
 	owner := s.w.newOwner(ValidatorOp, s.w.usCityIdx[rng.Intn(len(s.w.usCityIdx))])
 	s.fundOwner(owner, day)
 	h := &HotspotState{
@@ -255,6 +222,7 @@ func (s *simulator) addValidator(day int) {
 		AddedDay: day,
 		Online:   true,
 		Cloud:    true,
+		region:   -1,
 	}
 	owner.Hotspots = append(owner.Hotspots, h.Index)
 	s.w.Hotspots = append(s.w.Hotspots, h)
@@ -267,184 +235,20 @@ func (s *simulator) addValidator(day int) {
 // ---------------------------------------------------------------------------
 // Moves (§4.1) & resale (§4.3.3)
 
-// planMoves schedules a hotspot's relocations at creation time.
-func (s *simulator) planMoves(h *HotspotState, owner *Owner, day int, zeroFirst bool) {
-	rng := s.w.rng
-	var moves []moveEvent
-
-	if zeroFirst {
-		// The (0,0) artifact is corrected quickly with a real assert.
-		moves = append(moves, moveEvent{Day: day + 1 + rng.Intn(5), Dest: h.Actual})
-	}
-
-	if !rng.Bool(s.cfg.NeverMoveFrac) {
-		// How many (non-correction) moves: most movers move once or
-		// twice (the two free asserts), few more than five.
-		n := 1
-		u := rng.Float64()
-		switch {
-		case u < 0.62:
-			n = 1
-		case u < 0.85:
-			n = 2
-		case u < 0.95:
-			n = 3 + rng.Intn(2)
-		default:
-			n = 5 + rng.Geometric(0.5)
-		}
-		from := h.Actual
-		for i := 0; i < n; i++ {
-			dt := s.moveInterval()
-			moveDay := day + dt
-			if i > 0 {
-				moveDay = moves[len(moves)-1].Day + dt
-			}
-			var dest geo.Point
-			switch {
-			case i == 0 && rng.Bool(0.7):
-				// Test-then-deploy: a short local hop.
-				dest = geo.Destination(from, rng.Float64()*360, 0.2+rng.Float64()*8)
-			case rng.Bool(0.1) && s.cfg.ZeroZeroCount > 0 && rng.Bool(0.05):
-				// Rare relocation *to* (0,0) (fat-finger / test).
-				dest = geo.Point{}
-			case rng.Bool(0.12):
-				// Long-distance move: resale-driven US→EU export or a
-				// cross-country hop (Fig 3c).
-				dest = s.longMoveDest(moveDay)
-			default:
-				dest = geo.Destination(from, rng.Float64()*360, 1+rng.Float64()*40)
-			}
-			moves = append(moves, moveEvent{Day: moveDay, Dest: dest})
-			if !dest.IsZero() {
-				from = dest
-			}
-		}
-	}
-
-	// Silent movers relocate physically without asserting (§7.1). The
-	// move must land inside the observation window to be detectable.
-	if rng.Bool(s.cfg.SilentMoverFrac) && day < s.cfg.Days-60 {
-		moveDay := day + 30 + rng.Intn(maxi(30, s.cfg.Days-day-45))
-		moves = append(moves, moveEvent{
-			Day: moveDay, Dest: s.longMoveDest(moveDay), Silent: true,
-		})
-	}
-
-	// The paper's twenty-move outlier, owned by a large account.
-	if s.outlier == nil && owner.Class == MegaOwner {
-		s.outlier = h
-		from := h.Actual
-		for i := 0; i < 20; i++ {
-			from = geo.Destination(from, rng.Float64()*360, 5+rng.Float64()*300)
-			moves = append(moves, moveEvent{Day: day + 2 + i*4, Dest: from})
-		}
-	}
-	// Execution scans the plan in order; keep it day-sorted so a
-	// far-future move cannot block earlier ones.
-	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Day < moves[j].Day })
-	h.Moves = moves
-}
-
-// moveInterval samples days between relocations to match Fig 4:
-// 17.9% within a day, 35.8% within a week, 63.2% within a month.
-func (s *simulator) moveInterval() int {
-	rng := s.w.rng
-	u := rng.Float64()
-	switch {
-	case u < 0.179:
-		return 0 // same day (hour-level spacing)
-	case u < 0.358:
-		return 1 + rng.Intn(6)
-	case u < 0.632:
-		return 7 + rng.Intn(23)
-	default:
-		return 30 + int(rng.Exponential(1.0/60))
-	}
-}
-
-// longMoveDest picks a far destination: Europe once international
-// sales open, else across the US. Destinations are population-
-// weighted — hardware moves to where people (and other hotspots)
-// are, which is also what makes silent movers detectable (§7.1's
-// examples resurface in New York, not in an empty town).
-func (s *simulator) longMoveDest(day int) geo.Point {
-	return s.w.placeInCity(s.w.pickCity(day, s.w.rng.Bool(0.7)))
-}
-
-// stepMoves executes scheduled relocations.
-func (s *simulator) stepMoves(day int) {
-	for _, h := range s.w.Hotspots {
-		for h.MoveIdx < len(h.Moves) && h.Moves[h.MoveIdx].Day <= day {
-			mv := h.Moves[h.MoveIdx]
-			h.MoveIdx++
-			h.Actual = mv.Dest
-			if mv.Dest.IsZero() {
-				h.Actual = h.Asserted // (0,0) asserts don't move hardware
-			}
-			if mv.Silent {
-				continue // physical move, no transaction (§7.1)
-			}
-			h.Asserted = mv.Dest
-			h.Cell = assertCell(mv.Dest)
-			h.AssertNonce++
-			s.emit(&chain.AssertLocation{
-				Gateway:  h.Address,
-				Owner:    s.w.Owners[h.OwnerIdx].Address,
-				Location: h.Cell,
-				Nonce:    h.AssertNonce,
-			})
-			// Moving to another city re-homes the backhaul. Before the
-			// international launch no hardware operates abroad, so a
-			// border-adjacent hop cannot re-home to a foreign metro.
-			if city := s.nearestCity(mv.Dest); city >= 0 && city != h.City && !mv.Dest.IsZero() {
-				if s.w.Cities[city].Country == "US" || day >= s.cfg.InternationalLaunchDay {
-					h.City = city
-					h.Attachment = s.w.Registry.Attach(s.w.market(city), s.w.rng)
-				}
-			}
-		}
-	}
-}
-
 // nearestCity finds the closest city within 150 km, or -1.
-func (s *simulator) nearestCity(p geo.Point) int {
+func (w *World) nearestCity(p geo.Point) int {
 	best, bestKm := -1, 150.0
 	// Scan majors only — towns are tiny and the re-homing effect is
 	// what matters, not exactness.
-	for i := range s.w.Cities {
+	for i := range w.Cities {
 		if i >= len(majorCities) {
 			break
 		}
-		if d := geo.HaversineKm(p, s.w.Cities[i].Center); d < bestKm {
+		if d := geo.HaversineKm(p, w.Cities[i].Center); d < bestKm {
 			best, bestKm = i, d
 		}
 	}
 	return best
-}
-
-// planResale schedules ownership transfers (§4.3.3).
-func (s *simulator) planResale(h *HotspotState, day int) {
-	rng := s.w.rng
-	if !rng.Bool(s.cfg.ResaleFrac) {
-		return
-	}
-	first := s.cfg.ResaleStartDay + rng.Intn(maxi(1, s.cfg.Days-s.cfg.ResaleStartDay))
-	if first <= day {
-		first = day + 30
-	}
-	n := 1
-	u := rng.Float64()
-	switch {
-	case u < 0.70:
-		n = 1
-	case u < 0.954:
-		n = 2
-	default:
-		n = 3 + rng.Intn(5)
-	}
-	for i := 0; i < n; i++ {
-		s.resaleQueue = append(s.resaleQueue, resaleEvent{Day: first + i*(20+rng.Intn(60)), Hotspot: h.Index})
-	}
 }
 
 type resaleEvent struct {
@@ -452,9 +256,11 @@ type resaleEvent struct {
 	Hotspot int
 }
 
-// stepResale executes due transfers.
+// stepResale executes due transfers. Runs after the day barrier:
+// buyers are drawn from the global owner roster, and a transfer may
+// re-home the hotspot anywhere, so resale stays on the coordinator.
 func (s *simulator) stepResale(day int) {
-	rng := s.w.rng
+	rng := s.rng
 	rest := s.resaleQueue[:0]
 	for _, ev := range s.resaleQueue {
 		if ev.Day > day {
@@ -470,7 +276,7 @@ func (s *simulator) stepResale(day int) {
 		var buyer *Owner
 		if rng.Bool(0.8) || len(s.w.Owners) < 4 {
 			intl := rng.Bool(s.intlShare(day)) // exports skew late
-			buyer = s.w.newOwner(Individual, s.w.pickCity(day, intl))
+			buyer = s.w.newOwner(Individual, s.w.pickCity(rng, day, intl))
 			s.fundOwner(buyer, day)
 		} else {
 			buyer = s.w.Owners[rng.Intn(len(s.w.Owners))]
@@ -493,7 +299,7 @@ func (s *simulator) stepResale(day int) {
 		h.Transfers++
 		// Exported hotspots relocate to the buyer's home (Fig 3c).
 		if rng.Bool(s.cfg.ResaleExportProb) {
-			dest := s.w.placeInCity(buyer.HomeCity)
+			dest := s.w.placeInCity(rng, buyer.HomeCity)
 			h.Moves = append(h.Moves, moveEvent{Day: day + 3 + rng.Intn(20), Dest: dest})
 		}
 	}
@@ -509,20 +315,6 @@ func removeHotspot(o *Owner, idx int) {
 	}
 }
 
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func mini(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // ---------------------------------------------------------------------------
 // OUIs (§5.2)
 
@@ -531,68 +323,6 @@ func (s *simulator) stepOUIs(day int) {
 		if o.bornDay == day {
 			s.emit(&chain.DCCoinbase{Payee: o.wallet, AmountDC: 1 << 40})
 			s.emit(&chain.OUIRegistration{OUI: o.oui, Owner: o.wallet})
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// PoC (§2.3, §7)
-
-// rebuildFleet refreshes the PoC spatial index (weekly).
-func (s *simulator) rebuildFleet(day int) {
-	sites := make([]*poc.Site, 0, len(s.w.Hotspots))
-	s.onlineIdx = s.onlineIdx[:0]
-	for _, h := range s.w.Hotspots {
-		if h.Cloud {
-			continue // validators never radio
-		}
-		site := h.Site(s.w.Cities[h.City].EnvUrban)
-		sites = append(sites, site)
-		if h.Online {
-			s.onlineIdx = append(s.onlineIdx, len(sites)-1)
-		}
-	}
-	s.fleet = poc.NewFleet(sites)
-	s.fleetDay = day
-}
-
-func (s *simulator) stepPoC(day int) {
-	if len(s.w.Hotspots) < 3 {
-		return
-	}
-	if s.fleet == nil || day-s.fleetDay >= 7 {
-		s.rebuildFleet(day)
-	}
-	if len(s.onlineIdx) < 2 {
-		return
-	}
-	rng := s.w.rng
-	// Challenge volume scales with network size.
-	frac := float64(len(s.w.Hotspots)) / float64(s.cfg.TargetHotspots)
-	k := int(math.Ceil(float64(s.cfg.PoCSamplePerDay) * frac))
-	usedChallenger := make(map[int]bool, k)
-	for i := 0; i < k; i++ {
-		ci := s.onlineIdx[rng.Intn(len(s.onlineIdx))]
-		ti := s.onlineIdx[rng.Intn(len(s.onlineIdx))]
-		if ci == ti || usedChallenger[ci] {
-			continue // one challenge per challenger per day (interval rule)
-		}
-		usedChallenger[ci] = true
-		challenger := s.fleet.Sites[ci]
-		challengee := s.fleet.Sites[ti]
-		rcpt := s.engine.RunChallenge(s.fleet, challenger, challengee, rng)
-		s.emit(&chain.PoCRequest{Challenger: challenger.Address, SecretHash: chain.SCID(challenger.Address, int64(day*1000+i))})
-		s.emit(rcpt.ToTxn())
-		s.res.MaterializedPoC += 2
-		s.res.NotionalPoC += int64(2 * s.cfg.PoCWeight)
-
-		// Reward accounting.
-		s.dayChallenger[challenger.Address]++
-		s.dayBeacons[challengee.Address]++
-		for _, w := range rcpt.Witnesses {
-			if w.Valid {
-				s.dayWitness[w.Witness]++
-			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/econ"
 	"peoplesnet/internal/geo"
+	"peoplesnet/internal/stats"
 )
 
 // newSim builds a simulator shell without running the daily loop, for
@@ -15,7 +16,11 @@ func newSim(t *testing.T, cfg Config) *simulator {
 	w := newWorld(cfg)
 	c := chain.NewChain(cfg.Start)
 	c.Ledger().SetPoCInterval(1)
-	return &simulator{cfg: cfg, w: w, c: c, res: &Result{Cfg: cfg, Chain: c, World: w}}
+	return &simulator{
+		cfg: cfg, w: w, c: c,
+		res: &Result{Cfg: cfg, Chain: c, World: w},
+		rng: stats.NewRNG(cfg.Seed).Split("coordinator"),
+	}
 }
 
 func TestGrowthCurveCalibration(t *testing.T) {
@@ -47,7 +52,7 @@ func TestMoveIntervalDistribution(t *testing.T) {
 	n := 20000
 	within1, within7, within30 := 0, 0, 0
 	for i := 0; i < n; i++ {
-		dt := s.moveInterval()
+		dt := moveInterval(s.rng)
 		if dt < 0 {
 			t.Fatal("negative interval")
 		}
@@ -133,25 +138,26 @@ func TestMakerEras(t *testing.T) {
 
 func TestCityGeography(t *testing.T) {
 	w := newWorld(TestConfig(5))
+	rng := stats.NewRNG(5)
 	if len(w.usCityIdx)+len(w.intlCityIdx) != len(w.Cities) {
 		t.Fatal("city partition broken")
 	}
 	// Launch gating: pickCity never returns international pre-launch.
 	for i := 0; i < 300; i++ {
-		c := w.pickCity(0, true)
+		c := w.pickCity(rng, 0, true)
 		if w.Cities[c].Country != "US" {
 			t.Fatalf("pre-launch pick: %s (%s)", w.Cities[c].Name, w.Cities[c].Country)
 		}
 	}
 	// Post-launch intl picks are international.
-	intl := w.pickCity(400, true)
+	intl := w.pickCity(rng, 400, true)
 	if w.Cities[intl].Country == "US" {
 		t.Fatal("post-launch intl pick returned US")
 	}
 	// Placement stays within the city radius.
 	for i := 0; i < 100; i++ {
-		ci := w.pickCity(0, false)
-		p := w.placeInCity(ci)
+		ci := w.pickCity(rng, 0, false)
+		p := w.placeInCity(rng, ci)
 		if geo.HaversineKm(p, w.Cities[ci].Center) > w.Cities[ci].RadiusKm()+0.1 {
 			t.Fatalf("placement outside radius for %s", w.Cities[ci].Name)
 		}

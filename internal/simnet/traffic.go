@@ -1,8 +1,6 @@
 package simnet
 
 import (
-	"math"
-
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/econ"
 )
@@ -78,7 +76,7 @@ func (s *simulator) refreshDataHotspots(day int) {
 	// their class from.
 	want := 40
 	for tries := 0; tries < 400 && len(s.dataHotspots) < want+1; tries++ {
-		h := s.w.Hotspots[s.w.rng.Intn(len(s.w.Hotspots))]
+		h := s.w.Hotspots[s.rng.Intn(len(s.w.Hotspots))]
 		if h.Online && !h.Cloud && s.w.Owners[h.OwnerIdx].Class == Individual {
 			s.dataHotspots = append(s.dataHotspots, h.Index)
 		}
@@ -90,7 +88,7 @@ func (s *simulator) refreshDataHotspots(day int) {
 // cadence); longer-lived third-party channels are compressed the same
 // way, which only coarsens Fig 8's x-axis, not its shape.
 func (s *simulator) emitChannel(day int, wallet string, oui uint32, pkts int64, spam bool) {
-	rng := s.w.rng
+	rng := s.rng
 	s.scNonce++
 	id := chain.SCID(wallet, s.scNonce)
 	dc := pkts // ~24-byte packets: 1 DC each
@@ -169,7 +167,7 @@ func (s *simulator) stepRewards(day int) {
 		members := make([]string, 0, 16)
 		seen := map[int]bool{}
 		for tries := 0; tries < 200 && len(members) < 16; tries++ {
-			i := s.w.rng.Intn(len(s.w.Hotspots))
+			i := s.rng.Intn(len(s.w.Hotspots))
 			if seen[i] || !s.w.Hotspots[i].Online {
 				continue
 			}
@@ -194,33 +192,6 @@ func (s *simulator) stepRewards(day int) {
 			if bal > reserve+chain.BonesPerHNT {
 				s.emit(&chain.Payment{Payer: o.Address, Payee: s.exchange, AmountBones: bal - reserve})
 			}
-		}
-	}
-}
-
-// stepChurn takes hotspots offline permanently so the end-state
-// online fraction matches §4.2 (≈34k of 44k), and applies any §6.1
-// regional ISP outages for the day.
-func (s *simulator) stepChurn(day int) {
-	rng := s.w.rng
-
-	for _, ev := range s.cfg.Outages {
-		switch day {
-		case ev.Day:
-			s.setRegionalOutage(ev, true)
-		case ev.Day + maxi(1, ev.Days):
-			s.setRegionalOutage(ev, false)
-		}
-	}
-
-	// Each day, a small hazard knocks out a slice of the connected
-	// fleet. Under the exponential adoption curve (rate 6.7/Days) the
-	// mean hotspot age at the end is ≈Days/6.7, so a survival target of
-	// OnlineFraction at mean age needs hazard = −ln(f)·6.7/Days.
-	hazard := -math.Log(s.cfg.OnlineFraction) * 6.7 / float64(s.cfg.Days)
-	for _, h := range s.w.Hotspots {
-		if h.Online && !h.Cloud && !h.outage && rng.Bool(hazard) {
-			h.Online = false
 		}
 	}
 }

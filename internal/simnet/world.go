@@ -97,6 +97,13 @@ type HotspotState struct {
 	// outage marks a temporary regional ISP failure (restored when it
 	// lifts), as opposed to permanent churn.
 	outage bool
+
+	// region is the simulation region currently responsible for this
+	// hotspot (its moves, PoC participation, and churn). Assigned at
+	// creation from the deployment city; updated only at day barriers
+	// when a physical move lands in another region's territory.
+	// -1 for cloud validators, which no region simulates.
+	region int
 }
 
 // Site converts the hotspot into a PoC site view.
@@ -122,7 +129,10 @@ func (h *HotspotState) Site(cityUrban bool) *poc.Site {
 	}
 }
 
-// World is the evolving simulation state.
+// World is the evolving simulation state. It holds no RNG of its own:
+// every randomized method takes the caller's stream explicitly, so the
+// coordinator and each region worker draw from their own label-split
+// generators and never contend on (or perturb) a shared one.
 type World struct {
 	Cfg      Config
 	Cities   []City
@@ -131,10 +141,14 @@ type World struct {
 	Owners   []*Owner
 	Hotspots []*HotspotState
 
-	rng *stats.RNG
+	// markets holds every city's ISP market, prebuilt at world
+	// construction (index-aligned with Cities) so workers read them
+	// without synchronization.
+	markets []ipgeo.Market
 
-	// markets caches per-city ISP markets.
-	markets map[int]ipgeo.Market
+	// regionOfCity maps a city index to the simulation region owning
+	// deployments there (index-aligned with Cities).
+	regionOfCity []int
 
 	// usCityIdx / intlCityIdx partition city indexes for launch
 	// gating.
@@ -144,22 +158,29 @@ type World struct {
 	addrCounter int
 }
 
-// newWorld builds the static geography and registries.
+// newWorld builds the static geography and registries. Each sub-model
+// draws from its own labelled split of the master seed, so the streams
+// are stable however construction is reordered.
 func newWorld(cfg Config) *World {
-	rng := stats.NewRNG(cfg.Seed)
+	master := stats.NewRNG(cfg.Seed)
 	w := &World{
 		Cfg:      cfg,
-		rng:      rng,
-		Registry: ipgeo.NewRegistry(rng.Split(), cfg.TailASNs),
-		markets:  make(map[int]ipgeo.Market),
+		Registry: ipgeo.NewRegistry(master.Split("ipgeo-registry"), cfg.TailASNs),
 	}
-	w.Cities = BuildCities(cfg.Towns, rng.Split())
+	w.Cities = BuildCities(cfg.Towns, master.Split("cities"))
 	for i, c := range w.Cities {
 		if c.Country == "US" {
 			w.usCityIdx = append(w.usCityIdx, i)
 		} else {
 			w.intlCityIdx = append(w.intlCityIdx, i)
 		}
+	}
+	mrng := master.Split("markets")
+	w.markets = make([]ipgeo.Market, len(w.Cities))
+	w.regionOfCity = make([]int, len(w.Cities))
+	for i, c := range w.Cities {
+		w.markets[i] = w.Registry.BuildMarket(c.Name, c.Country, c.Population, mrng)
+		w.regionOfCity[i] = regionOfPoint(c.Center)
 	}
 	return w
 }
@@ -172,20 +193,14 @@ func (w *World) newAddress(kind string) string {
 	return fmt.Sprintf("sim1%s%07d", kind, w.addrCounter)
 }
 
-// market returns (building if needed) the city's ISP market.
+// market returns the city's prebuilt ISP market.
 func (w *World) market(cityIdx int) ipgeo.Market {
-	if m, ok := w.markets[cityIdx]; ok {
-		return m
-	}
-	c := w.Cities[cityIdx]
-	m := w.Registry.BuildMarket(c.Name, c.Country, c.Population, w.rng)
-	w.markets[cityIdx] = m
-	return m
+	return w.markets[cityIdx]
 }
 
 // pickCity selects a city for a new deployment: population-weighted,
 // respecting the international launch gate.
-func (w *World) pickCity(day int, wantIntl bool) int {
+func (w *World) pickCity(rng *stats.RNG, day int, wantIntl bool) int {
 	pool := w.usCityIdx
 	if wantIntl && day >= w.Cfg.InternationalLaunchDay {
 		pool = w.intlCityIdx
@@ -193,9 +208,9 @@ func (w *World) pickCity(day int, wantIntl bool) int {
 	// Population-weighted pick via a few tournament rounds — cheaper
 	// than building a full weight slice per call and heavy-headed
 	// enough to favour metros.
-	best := pool[w.rng.Intn(len(pool))]
+	best := pool[rng.Intn(len(pool))]
 	for i := 0; i < 3; i++ {
-		cand := pool[w.rng.Intn(len(pool))]
+		cand := pool[rng.Intn(len(pool))]
 		if w.Cities[cand].Population > w.Cities[best].Population {
 			best = cand
 		}
@@ -216,10 +231,10 @@ func (w *World) cityByName(name string) (int, bool) {
 
 // placeInCity samples a deployment location inside the city's radius,
 // biased toward the center.
-func (w *World) placeInCity(cityIdx int) geo.Point {
+func (w *World) placeInCity(rng *stats.RNG, cityIdx int) geo.Point {
 	c := w.Cities[cityIdx]
-	dist := c.RadiusKm() * w.rng.Float64() * w.rng.Float64() // center-biased
-	return geo.Destination(c.Center, w.rng.Float64()*360, dist)
+	dist := c.RadiusKm() * rng.Float64() * rng.Float64() // center-biased
+	return geo.Destination(c.Center, rng.Float64()*360, dist)
 }
 
 // newOwner creates an owner homed in a city.

@@ -21,14 +21,15 @@ import (
 // RNG is not safe for concurrent use; Split off independent streams
 // for concurrent consumers instead of sharing one generator.
 type RNG struct {
-	s [4]uint64
+	seed uint64
+	s    [4]uint64
 }
 
 // NewRNG returns a generator seeded from a single 64-bit seed using
 // splitmix64 to fill the internal state, as recommended by the
 // xoshiro authors.
 func NewRNG(seed uint64) *RNG {
-	r := &RNG{}
+	r := &RNG{seed: seed}
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -40,12 +41,31 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
-// Split derives an independent generator from r. The derived stream is
-// decorrelated from r's future output (it is seeded from r's next
-// value mixed with a fixed constant), which lets callers hand separate
-// streams to sub-models without interleaving effects.
-func (r *RNG) Split() *RNG {
-	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+// Split derives an independent generator identified by label. The
+// child's stream is a pure function of r's construction seed and the
+// label: splitting neither consumes r's stream nor depends on how many
+// values r has already produced, so concurrent sub-models can be handed
+// their streams in any order — worker scheduling included — and always
+// receive the same sequences. Distinct labels (and distinct parents)
+// give decorrelated streams, and nested splits compose:
+// r.Split("a").Split("b") differs from r.Split("b").Split("a").
+func (r *RNG) Split(label string) *RNG {
+	// FNV-1a over the label, then a splitmix64 finalizer round against
+	// the parent seed. The asymmetric mix keeps nested splits
+	// non-commutative.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(mix64(mix64(r.seed+0x9e3779b97f4a7c15) ^ h))
+}
+
+// mix64 is the splitmix64 output function: a strong 64-bit finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

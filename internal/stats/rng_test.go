@@ -32,14 +32,73 @@ func TestRNGSeedsDiffer(t *testing.T) {
 
 func TestSplitIndependence(t *testing.T) {
 	a := NewRNG(7)
-	child := a.Split()
+	child := a.Split("model")
 	// The child must be deterministic given the parent's seed.
 	b := NewRNG(7)
-	child2 := b.Split()
+	child2 := b.Split("model")
 	for i := 0; i < 100; i++ {
 		if child.Uint64() != child2.Uint64() {
 			t.Fatal("Split is not deterministic")
 		}
+	}
+}
+
+// TestSplitStableAcrossDraws is the property the sharded simulator
+// depends on: a labelled split yields the same stream no matter how
+// much of the parent's own stream has been consumed, so worker
+// scheduling cannot perturb any shard's randomness.
+func TestSplitStableAcrossDraws(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 137; i++ {
+		b.Uint64() // advance b's stream only
+	}
+	b.Split("unrelated") // interleave an unrelated split too
+	ca, cb := a.Split("region-07"), b.Split("region-07")
+	for i := 0; i < 1000; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("same-label splits diverged at step %d", i)
+		}
+	}
+	// Splitting must not consume the parent stream: a continues
+	// exactly where a same-seed generator that never split would be.
+	c := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatalf("Split consumed the parent stream (step %d)", i)
+		}
+	}
+}
+
+func TestSplitLabelAndParentIndependence(t *testing.T) {
+	matches := func(x, y *RNG) int {
+		same := 0
+		for i := 0; i < 200; i++ {
+			if x.Uint64() == y.Uint64() {
+				same++
+			}
+		}
+		return same
+	}
+	// Distinct labels from one parent decorrelate.
+	a := NewRNG(5)
+	if n := matches(a.Split("region-00"), a.Split("region-01")); n > 2 {
+		t.Fatalf("distinct labels matched %d/200 outputs", n)
+	}
+	// Same label from distinct parents decorrelates.
+	if n := matches(NewRNG(5).Split("x"), NewRNG(6).Split("x")); n > 2 {
+		t.Fatalf("distinct parents matched %d/200 outputs", n)
+	}
+	// A child decorrelates from its parent's own stream.
+	p := NewRNG(5)
+	if n := matches(p.Split("x"), NewRNG(5)); n > 2 {
+		t.Fatalf("child matched parent %d/200 outputs", n)
+	}
+	// Nested splits are order-sensitive (labels are a path, not a set).
+	ab := NewRNG(5).Split("a").Split("b")
+	ba := NewRNG(5).Split("b").Split("a")
+	if n := matches(ab, ba); n > 2 {
+		t.Fatalf("nested split order ignored: %d/200 matches", n)
 	}
 }
 
