@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-etl bench-json fmt vet lint lint-fix-scan check recovery fuzz-smoke
+.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ bench-etl:
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run xxx -bench . -benchmem . | ./bin/benchjson -scale $${PEOPLESNET_BENCH_SCALE:-small}
+
+# Trend gate: diff the two newest BENCH_*.json records and fail loudly
+# if any benchmark's ns/op regressed by more than 20%.
+bench-trend:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	./bin/benchjson -trend
+
+# Federated query tier under load: P50/P99 per query class, routing
+# precision, 1/2/4/8-shard scaling, every result verified against the
+# raw-chain oracle (EXPERIMENTS.md "Federated fan-out" section).
+bench-fed:
+	$(GO) run ./cmd/fedload -scale $${PEOPLESNET_BENCH_SCALE:-small}
 
 # Fixture modules under internal/analysis/testdata hold deliberately
 # bad code for the linter's own tests; fmt skips them (vet and build
@@ -55,9 +67,19 @@ lint-fix-scan:
 recovery:
 	$(GO) test -race -run 'Durable|Reopen|CrashRecovery|BitFlip|Sidecar|Follower|AppendNonContiguous' ./internal/etl/
 
-# Ten seconds of coverage-guided fuzzing over the chain binary codec:
-# arbitrary bytes must decode-or-error, never panic.
+# Coverage-guided fuzzing over the codecs: the chain block decoder
+# must decode-or-error on arbitrary bytes, the wire primitives must
+# round-trip any write script exactly, and the wire reader must never
+# panic on garbage. (`go test -fuzz` takes one target per run.)
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecodeBlock -fuzztime 10s -run xxx ./internal/chain/
+	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 5s -run xxx ./internal/wire/
+	$(GO) test -fuzz FuzzReaderNoPanic -fuzztime 5s -run xxx ./internal/wire/
 
-check: fmt vet lint build race recovery fuzz-smoke
+# Federation smoke: 4 height-sliced and 4 region-sliced in-process
+# shards answer the full query matrix under the race detector, every
+# result compared bit-for-bit against the single-store baseline.
+fed-smoke:
+	$(GO) test -race -run TestFederationSmoke ./internal/fed/
+
+check: fmt vet lint build race recovery fuzz-smoke fed-smoke

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// trend compares the two newest BENCH_*.json records in dir and
+// reports every benchmark whose ns/op moved more than threshold in
+// either direction. It returns an error (the `make bench-trend` gate
+// fails) only for regressions; fewer than two records, or records from
+// different world scales, degrade to a notice — a gate that cannot
+// compare must not block.
+func trend(w io.Writer, dir string, threshold float64) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	// BENCH_<YYYY-MM-DD>.json sorts chronologically as text.
+	sort.Strings(paths)
+	if len(paths) < 2 {
+		fmt.Fprintf(w, "bench-trend: %d record(s) in %s, need 2 — nothing to compare\n", len(paths), dir)
+		return nil
+	}
+	oldPath, newPath := paths[len(paths)-2], paths[len(paths)-1]
+	old, err := readRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readRecord(newPath)
+	if err != nil {
+		return err
+	}
+	if old.Scale != cur.Scale {
+		fmt.Fprintf(w, "bench-trend: %s is scale=%s but %s is scale=%s — incomparable, skipping\n",
+			filepath.Base(oldPath), old.Scale, filepath.Base(newPath), cur.Scale)
+		return nil
+	}
+
+	base := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		base[benchKey(b)] = b
+	}
+	fmt.Fprintf(w, "bench-trend: %s → %s (scale=%s, threshold ±%.0f%%)\n",
+		filepath.Base(oldPath), filepath.Base(newPath), cur.Scale, threshold*100)
+
+	var regressions, improvements, compared int
+	for _, b := range cur.Benchmarks {
+		prev, ok := base[benchKey(b)]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		delta := b.NsPerOp/prev.NsPerOp - 1
+		switch {
+		case delta > threshold:
+			regressions++
+			fmt.Fprintf(w, "  REGRESSION %s: %.0f ns/op → %.0f ns/op (%+.1f%%)\n",
+				b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
+		case delta < -threshold:
+			improvements++
+			fmt.Fprintf(w, "  improved   %s: %.0f ns/op → %.0f ns/op (%+.1f%%)\n",
+				b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
+		}
+	}
+	fmt.Fprintf(w, "bench-trend: %d compared, %d regressed, %d improved\n",
+		compared, regressions, improvements)
+	if regressions > 0 {
+		if cur.TrendAck != "" {
+			fmt.Fprintf(w, "bench-trend: regressions acknowledged as a baseline shift: %s\n", cur.TrendAck)
+			return nil
+		}
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, threshold*100)
+	}
+	return nil
+}
+
+// benchKey identifies a benchmark across records: same name run under
+// a different GOMAXPROCS is a different measurement.
+func benchKey(b Benchmark) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs) }
+
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, dir, date, scale string, benches []Benchmark) {
+	t.Helper()
+	rec := Record{Date: date, GoVersion: "go-test", GOMAXPROCS: 1, Scale: scale, Benchmarks: benches}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+date+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrendPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{
+		{Name: "Scan", Procs: 1, NsPerOp: 1000},
+		{Name: "Merge", Procs: 1, NsPerOp: 500},
+	})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{
+		{Name: "Scan", Procs: 1, NsPerOp: 1100},  // +10%, inside the gate
+		{Name: "Merge", Procs: 1, NsPerOp: 300},  // -40%, an improvement
+		{Name: "Fresh", Procs: 1, NsPerOp: 9999}, // no baseline, ignored
+	})
+	var buf strings.Builder
+	if err := trend(&buf, dir, 0.20); err != nil {
+		t.Fatalf("trend failed within threshold: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 compared, 0 regressed, 1 improved") {
+		t.Fatalf("unexpected summary:\n%s", out)
+	}
+}
+
+func TestTrendFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1000}})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1300}})
+	var buf strings.Builder
+	err := trend(&buf, dir, 0.20)
+	if err == nil {
+		t.Fatalf("trend passed a +30%% regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION Scan") {
+		t.Fatalf("regression not named:\n%s", buf.String())
+	}
+}
+
+// An acknowledged baseline shift (trend_ack on the newer record)
+// still reports every regression but passes the gate; the ack only
+// covers its own record, not future ones.
+func TestTrendAckPassesButReports(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1000}})
+	rec := Record{Date: "2026-01-02", GoVersion: "go-test", GOMAXPROCS: 1, Scale: "small",
+		TrendAck:   "host moved to a slower VM",
+		Benchmarks: []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1500}}}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2026-01-02.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := trend(&buf, dir, 0.20); err != nil {
+		t.Fatalf("acknowledged shift failed the gate: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION Scan") || !strings.Contains(out, "slower VM") {
+		t.Fatalf("ack must still report the regression and the reason:\n%s", out)
+	}
+
+	// A third, un-acked record gates normally against the acked one.
+	writeRecord(t, dir, "2026-01-03", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 2500}})
+	buf.Reset()
+	if err := trend(&buf, dir, 0.20); err == nil {
+		t.Fatalf("un-acked record inherited the previous ack:\n%s", buf.String())
+	}
+}
+
+// Same name under a different GOMAXPROCS is a different measurement,
+// not a baseline for comparison.
+func TestTrendKeysOnProcs(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{{Name: "Scan", Procs: 4, NsPerOp: 100}})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1000}})
+	var buf strings.Builder
+	if err := trend(&buf, dir, 0.20); err != nil {
+		t.Fatalf("cross-procs comparison happened: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 compared") {
+		t.Fatalf("expected nothing comparable:\n%s", buf.String())
+	}
+}
+
+// The gate must not block when it cannot compare: one record, or a
+// scale mismatch between the two newest.
+func TestTrendDegradesGracefully(t *testing.T) {
+	one := t.TempDir()
+	writeRecord(t, one, "2026-01-01", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1000}})
+	var buf strings.Builder
+	if err := trend(&buf, one, 0.20); err != nil {
+		t.Fatalf("single record failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "nothing to compare") {
+		t.Fatalf("missing notice:\n%s", buf.String())
+	}
+
+	mixed := t.TempDir()
+	writeRecord(t, mixed, "2026-01-01", "small", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 1000}})
+	writeRecord(t, mixed, "2026-01-02", "paper", []Benchmark{{Name: "Scan", Procs: 1, NsPerOp: 99999}})
+	buf.Reset()
+	if err := trend(&buf, mixed, 0.20); err != nil {
+		t.Fatalf("scale mismatch failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "incomparable") {
+		t.Fatalf("missing scale notice:\n%s", buf.String())
+	}
+}

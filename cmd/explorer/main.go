@@ -10,17 +10,23 @@
 //	GET /coverage         Fig 12 model percentages (JSON)
 //	GET /report           plain-text measurement report
 //	GET /etl              ETL store shape: segments, postings, rollups,
-//	                      store health (WAL depth, quarantine, last append)
-//	GET /txns             indexed transaction search
-//	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50)
+//	                      store health (WAL depth, quarantine, last append),
+//	                      plus per-shard federation health and lag
+//	GET /txns             federated transaction search with cursor pagination
+//	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50
+//	                       &cursor=<h>-<seq>&region=<0..23>)
+//	GET /tail             streams reassembled blocks from the shard tails as
+//	                      NDJSON (?after=<height>&limit=<n>&full=1)
 //
 // Usage:
 //
 //	explorer -listen :8080 -scale small -seed 42
+//	explorer -shards 8 -partition height   # federation layout
 //	explorer -store ./etl-store   # durable index, reloaded across restarts
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,11 +34,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"peoplesnet"
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/coverage"
 	"peoplesnet/internal/etl"
+	"peoplesnet/internal/fed"
 	"peoplesnet/internal/names"
 )
 
@@ -43,6 +51,9 @@ type server struct {
 	// follower is non-nil when the store is durable (-store): the live
 	// tail whose first ingest error /etl surfaces.
 	follower *etl.Follower
+	// cluster is the federated query tier /txns and /tail are served
+	// from; /etl reports its per-shard health.
+	cluster *fed.Cluster
 }
 
 type hotspotJSON struct {
@@ -172,31 +183,41 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 			resp["follower_error"] = err.Error()
 		}
 	}
+	if s.cluster != nil {
+		part := s.cluster.Partition()
+		resp["federation"] = map[string]any{
+			"partition":  part.Name(),
+			"num_shards": part.NumShards(),
+			"source_tip": s.world.Chain.Height(),
+			"shards":     s.cluster.Shards(),
+		}
+	}
 	writeJSON(w, resp)
 }
 
-// handleTxns serves indexed transaction search over the ETL store.
+// handleTxns serves federated transaction search: the query is
+// planned against the shard partition, fanned out, and the per-shard
+// pages k-way merged into one chain-ordered page with a resume
+// cursor.
 func (s *server) handleTxns(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	var f etl.Filter
+	fq := fed.Query{Kind: fed.KindTxns, Range: etl.All(), Limit: 100}
 	if name := q.Get("type"); name != "" {
 		tt, ok := chain.ParseTxnType(name)
 		if !ok {
 			http.Error(w, fmt.Sprintf("unknown txn type %q", name), http.StatusBadRequest)
 			return
 		}
-		f.Types = []chain.TxnType{tt}
+		fq.Filter.Types = []chain.TxnType{tt}
 	}
 	if actor := q.Get("actor"); actor != "" {
-		f.Actors = []string{actor}
+		fq.Filter.Actors = []string{actor}
 	}
-	rng := etl.All()
-	limit := 100
 	var err error
 	for _, p := range []struct {
 		name string
 		dst  *int64
-	}{{"from", &rng.From}, {"to", &rng.To}} {
+	}{{"from", &fq.Range.From}, {"to", &fq.Range.To}} {
 		if v := q.Get(p.name); v != "" {
 			if *p.dst, err = strconv.ParseInt(v, 10, 64); err != nil {
 				http.Error(w, p.name+": "+err.Error(), http.StatusBadRequest)
@@ -205,24 +226,113 @@ func (s *server) handleTxns(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if v := q.Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+		if fq.Limit, err = strconv.Atoi(v); err != nil || fq.Limit < 1 {
 			http.Error(w, "bad limit", http.StatusBadRequest)
 			return
 		}
 	}
-
-	type txnJSON struct {
-		Height int64     `json:"height"`
-		Type   string    `json:"type"`
-		Hash   string    `json:"hash"`
-		Txn    chain.Txn `json:"txn"`
+	if v := q.Get("cursor"); v != "" {
+		if fq.Cursor, err = fed.ParseCursor(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
-	out := make([]txnJSON, 0, limit)
-	s.store.Scan(rng, f, func(h int64, t chain.Txn) bool {
-		out = append(out, txnJSON{Height: h, Type: t.TxnType().String(), Hash: chain.Hash(t), Txn: t})
-		return len(out) < limit
-	})
-	writeJSON(w, out)
+	if v := q.Get("region"); v != "" {
+		reg, err := strconv.Atoi(v)
+		if err != nil || reg < 0 || reg >= fed.NumRegions {
+			http.Error(w, fmt.Sprintf("bad region (want 0..%d)", fed.NumRegions-1), http.StatusBadRequest)
+			return
+		}
+		fq.HasRegion, fq.Region = true, reg
+	}
+
+	res, err := s.cluster.Query(r.Context(), fq)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp := map[string]any{
+		"txns":                res.Txns,
+		"has_more":            res.HasMore,
+		"shards_planned":      len(res.Planned),
+		"shards_contributing": res.Contributing,
+		"elapsed_us":          res.Elapsed.Microseconds(),
+	}
+	if res.HasMore {
+		resp["next_cursor"] = res.Next.String()
+	}
+	if len(res.Stale) > 0 {
+		resp["stale"] = res.Stale
+	}
+	if len(res.Gaps) > 0 {
+		resp["gaps"] = res.Gaps
+	}
+	writeJSON(w, resp)
+}
+
+// handleTail streams reassembled blocks from the shards' lossless
+// tails as NDJSON, one block per line, until the client disconnects
+// (or ?limit=<n> blocks have been sent). ?after=<height> positions
+// the tail (-1 replays everything; default is the current tip, i.e.
+// only new blocks). ?full=1 includes transaction bodies.
+func (s *server) handleTail(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after := s.world.Chain.Height()
+	var err error
+	if v := q.Get("after"); v != "" {
+		if after, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, "bad after: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	full := q.Get("full") == "1"
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	tail := s.cluster.Tail(after)
+	defer tail.Close()
+	// A disconnected client unblocks the merged tail's Next.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-r.Context().Done():
+			tail.Close()
+		case <-stop:
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for sent := 0; limit == 0 || sent < limit; sent++ {
+		b, ok := tail.Next()
+		if !ok {
+			return
+		}
+		line := map[string]any{
+			"height":    b.Height,
+			"timestamp": b.Timestamp,
+			"hash":      b.Hash,
+			"txn_count": len(b.Txns),
+		}
+		if full {
+			line["txns"] = b.Txns
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
 }
 
 func (s *server) handleReport(w http.ResponseWriter, _ *http.Request) {
@@ -241,10 +351,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
-		seed     = flag.Uint64("seed", 1, "world seed")
-		scale    = flag.String("scale", "small", "small | paper")
-		storeDir = flag.String("store", "", "durable ETL store directory; must come from the same seed and scale")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		scale     = flag.String("scale", "small", "small | paper")
+		storeDir  = flag.String("store", "", "durable ETL store directory; must come from the same seed and scale")
+		shards    = flag.Int("shards", 4, "federated shard count")
+		partition = flag.String("partition", "region", "shard partition scheme: height | region")
 	)
 	flag.Parse()
 
@@ -274,6 +386,14 @@ func main() {
 		s.store = etl.FromChain(world.Chain)
 	}
 
+	cluster, err := buildCluster(world.Chain, *shards, *partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.cluster = cluster
+	log.Printf("federation: %d %s-partitioned shards caught up to height %d",
+		*shards, *partition, world.Chain.Height())
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/hotspots", s.handleHotspots)
@@ -283,7 +403,34 @@ func main() {
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/etl", s.handleETL)
 	mux.HandleFunc("/txns", s.handleTxns)
+	mux.HandleFunc("/tail", s.handleTail)
 
-	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report, etl, txns)", *listen)
+	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report, etl, txns, tail)", *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// buildCluster stands up the in-process federated tier behind /txns,
+// /tail, and /etl's shard health, and waits for it to catch up to the
+// chain tip before serving.
+func buildCluster(c *chain.Chain, shards int, scheme string) (*fed.Cluster, error) {
+	var part fed.Partition
+	switch scheme {
+	case "height":
+		part = fed.ByHeight(shards, c.Height())
+	case "region":
+		part = fed.ByRegion(shards)
+	default:
+		return nil, fmt.Errorf("unknown partition scheme %q (want height or region)", scheme)
+	}
+	cluster := fed.FollowChain(c, part, fed.Options{
+		PerShardTimeout: 10 * time.Second,
+		LagBudget:       64,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := cluster.WaitHeight(ctx, c.Height()); err != nil {
+		cluster.Close()
+		return nil, fmt.Errorf("federation catch-up: %w", err)
+	}
+	return cluster, nil
 }

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"peoplesnet"
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
 	"peoplesnet/internal/names"
 )
 
@@ -28,7 +30,17 @@ func testServer(t *testing.T) *server {
 			srvErr = err
 			return
 		}
-		srv = &server{world: world, study: peoplesnet.Measure(world)}
+		cluster, err := buildCluster(world.Chain, 4, "region")
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srv = &server{
+			world:   world,
+			study:   peoplesnet.Measure(world),
+			store:   etl.FromChain(world.Chain),
+			cluster: cluster,
+		}
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)
@@ -43,6 +55,9 @@ func mux(s *server) *http.ServeMux {
 	m.HandleFunc("/hotspots/", s.handleHotspots)
 	m.HandleFunc("/coverage", s.handleCoverage)
 	m.HandleFunc("/report", s.handleReport)
+	m.HandleFunc("/etl", s.handleETL)
+	m.HandleFunc("/txns", s.handleTxns)
+	m.HandleFunc("/tail", s.handleTail)
 	return m
 }
 
@@ -148,5 +163,155 @@ func TestReportEndpoint(t *testing.T) {
 	n, _ := resp.Body.Read(buf)
 	if n < 500 {
 		t.Fatalf("report too short: %d bytes", n)
+	}
+}
+
+// TestTxnsFederatedPagination walks /txns with a cursor and checks
+// the concatenated pages equal the raw chain's listing exactly.
+func TestTxnsFederatedPagination(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(mux(s))
+	defer ts.Close()
+
+	type txnRow struct {
+		Height int64  `json:"height"`
+		Seq    int32  `json:"seq"`
+		Hash   string `json:"hash"`
+		Type   string `json:"type"`
+	}
+	type page struct {
+		Txns       []txnRow `json:"txns"`
+		HasMore    bool     `json:"has_more"`
+		NextCursor string   `json:"next_cursor"`
+		Planned    int      `json:"shards_planned"`
+	}
+
+	var walked []txnRow
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 10000 {
+			t.Fatal("pagination never terminated")
+		}
+		url := ts.URL + "/txns?type=payment&limit=25"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p page
+		err = json.NewDecoder(resp.Body).Decode(&p)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Planned == 0 {
+			t.Fatal("no shards planned")
+		}
+		walked = append(walked, p.Txns...)
+		if !p.HasMore {
+			break
+		}
+		if p.NextCursor == "" {
+			t.Fatal("has_more without next_cursor")
+		}
+		cursor = p.NextCursor
+	}
+
+	// Baseline straight off the chain.
+	var want []txnRow
+	for _, b := range s.world.Chain.Blocks() {
+		for i, txn := range b.Txns {
+			if txn.TxnType() == chain.TxnPayment {
+				want = append(want, txnRow{Height: b.Height, Seq: int32(i), Hash: chain.Hash(txn), Type: "payment"})
+			}
+		}
+	}
+	if len(walked) != len(want) {
+		t.Fatalf("walked %d payments, want %d", len(walked), len(want))
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("page row %d = %+v, want %+v", i, walked[i], want[i])
+		}
+	}
+}
+
+// TestETLFederationHealth asserts /etl reports per-shard lag fields.
+func TestETLFederationHealth(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(mux(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/etl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Federation struct {
+			Partition string `json:"partition"`
+			NumShards int    `json:"num_shards"`
+			SourceTip int64  `json:"source_tip"`
+			Shards    []struct {
+				ID     int             `json:"id"`
+				Slice  string          `json:"slice"`
+				Tip    *int64          `json:"tip"`
+				Lag    *int64          `json:"lag_blocks"`
+				Health json.RawMessage `json:"health"`
+			} `json:"shards"`
+		} `json:"federation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	f := out.Federation
+	if f.Partition != "region" || f.NumShards != 4 || len(f.Shards) != 4 {
+		t.Fatalf("federation block wrong: %+v", f)
+	}
+	for _, sh := range f.Shards {
+		if sh.Tip == nil || sh.Lag == nil {
+			t.Fatalf("shard %d missing tip/lag_blocks: %+v", sh.ID, sh)
+		}
+		if *sh.Tip != f.SourceTip || *sh.Lag != 0 {
+			t.Fatalf("caught-up shard %d reports tip %d lag %d (source tip %d)", sh.ID, *sh.Tip, *sh.Lag, f.SourceTip)
+		}
+		if sh.Slice == "" || len(sh.Health) == 0 {
+			t.Fatalf("shard %d missing slice/health: %+v", sh.ID, sh)
+		}
+	}
+}
+
+// TestTailEndpoint replays the first blocks through /tail and checks
+// they match the chain.
+func TestTailEndpoint(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(mux(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/tail?after=-1&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	blocks := s.world.Chain.Blocks()
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < 5; i++ {
+		var line struct {
+			Height   int64  `json:"height"`
+			Hash     string `json:"hash"`
+			TxnCount int    `json:"txn_count"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		want := blocks[i]
+		if line.Height != want.Height || line.Hash != want.Hash || line.TxnCount != len(want.Txns) {
+			t.Fatalf("tail line %d = %+v, want (h=%d, %s, %d txns)", i, line, want.Height, want.Hash, len(want.Txns))
+		}
 	}
 }

@@ -1,0 +1,396 @@
+// Command fedload drives the federated query tier under load and
+// reports what the paper's ETL operators would watch: per-class P50
+// and P99 latency, routing precision (fraction of planned shards that
+// actually held answers), and scaling across cluster sizes.
+//
+// For every partition scheme × shard count it builds an in-process
+// cluster of follower shards over one generated world, waits for
+// catch-up, then fires a fixed, seeded query mix through concurrent
+// workers. The first -verify queries of each class are also checked
+// bit-for-bit against fed.Reference, the raw-chain oracle; any
+// divergence is fatal.
+//
+// With -bench the same numbers are additionally emitted in `go test
+// -bench` line format on stdout (tables move to stderr), so the run
+// can be piped straight into cmd/benchjson:
+//
+//	go run ./cmd/fedload -scale paper -bench | go run ./cmd/benchjson -scale paper
+//
+// Typical use:
+//
+//	go run ./cmd/fedload -scale small -shards 1,2,4 -queries 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"peoplesnet"
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
+	"peoplesnet/internal/fed"
+)
+
+func main() {
+	var (
+		scale       = flag.String("scale", "small", "world scale: small (~1/20) or paper (~44k hotspots)")
+		seed        = flag.Uint64("seed", 7, "world and query-mix seed")
+		shardsFlag  = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to sweep")
+		partsFlag   = flag.String("partitions", "height,region", "comma-separated partition schemes")
+		queries     = flag.Int("queries", 64, "queries per class per topology")
+		concurrency = flag.Int("concurrency", 4, "concurrent query workers")
+		verify      = flag.Int("verify", 8, "queries per class checked against the raw-chain reference (0 disables)")
+		bench       = flag.Bool("bench", false, "emit go-bench lines on stdout for cmd/benchjson")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-shard timeout")
+	)
+	flag.Parse()
+
+	if err := run(*scale, *seed, *shardsFlag, *partsFlag, *queries, *concurrency, *verify, *bench, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "fedload:", err)
+		os.Exit(1)
+	}
+}
+
+// out is where human-readable reporting goes: stdout normally, stderr
+// when -bench claims stdout for machine-readable lines.
+var out *os.File = os.Stdout
+
+func run(scale string, seed uint64, shardsFlag, partsFlag string, queries, concurrency, verify int, bench bool, timeout time.Duration) error {
+	if bench {
+		out = os.Stderr
+	}
+	var cfg peoplesnet.WorldConfig
+	switch scale {
+	case "small":
+		cfg = peoplesnet.SmallWorld(seed)
+	case "paper":
+		cfg = peoplesnet.PaperWorld(seed)
+	default:
+		return fmt.Errorf("unknown -scale %q (want small or paper)", scale)
+	}
+
+	genStart := time.Now()
+	world, err := peoplesnet.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+	c := world.Chain
+	blocks := c.Blocks()
+	var txns int64
+	for _, b := range blocks {
+		txns += int64(len(b.Txns))
+	}
+	fmt.Fprintf(out, "fedload: scale=%s seed=%d blocks=%d txns=%d tip=%d gen=%s\n",
+		scale, seed, len(blocks), txns, c.Height(), time.Since(genStart).Round(time.Millisecond))
+
+	shardCounts, err := parseInts(shardsFlag)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	schemes := strings.Split(partsFlag, ",")
+
+	classes := buildClasses(c, seed, queries)
+
+	// References are per (class, query-index) and identical across
+	// topologies, so compute each lazily once and reuse.
+	refs := make(map[string]*fed.Result)
+	refFor := func(cl class, qi int) *fed.Result {
+		key := fmt.Sprintf("%s/%d", cl.name, qi)
+		if r, ok := refs[key]; ok {
+			return r
+		}
+		r := fed.Reference(blocks, cl.queries[qi])
+		refs[key] = r
+		return r
+	}
+
+	for _, scheme := range schemes {
+		scheme = strings.TrimSpace(scheme)
+		for _, n := range shardCounts {
+			var part fed.Partition
+			switch scheme {
+			case "height":
+				part = fed.ByHeight(n, c.Height())
+			case "region":
+				part = fed.ByRegion(n)
+			default:
+				return fmt.Errorf("unknown partition scheme %q (want height or region)", scheme)
+			}
+
+			buildStart := time.Now()
+			cluster := fed.FollowChain(c, part, fed.Options{PerShardTimeout: timeout, LagBudget: 64})
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			err := cluster.WaitHeight(ctx, c.Height())
+			cancel()
+			if err != nil {
+				cluster.Close()
+				return fmt.Errorf("partition=%s shards=%d catch-up: %w", scheme, n, err)
+			}
+			fmt.Fprintf(out, "\npartition=%s shards=%d (catch-up %s)\n",
+				scheme, n, time.Since(buildStart).Round(time.Millisecond))
+
+			tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  class\tqueries\tP50(µs)\tP99(µs)\tprecision\tverified")
+			for _, cl := range classes {
+				m, err := runClass(cluster, cl, concurrency)
+				if err != nil {
+					cluster.Close()
+					return fmt.Errorf("partition=%s shards=%d class=%s: %w", scheme, n, cl.name, err)
+				}
+				checked := 0
+				for qi := 0; qi < verify && qi < len(cl.queries); qi++ {
+					res, err := cluster.Query(context.Background(), cl.queries[qi])
+					if err != nil {
+						cluster.Close()
+						return fmt.Errorf("verify %s[%d]: %w", cl.name, qi, err)
+					}
+					if err := sameResult(cl.queries[qi], res, refFor(cl, qi)); err != nil {
+						cluster.Close()
+						return fmt.Errorf("partition=%s shards=%d %s[%d] diverges from reference: %w", scheme, n, cl.name, qi, err)
+					}
+					checked++
+				}
+				fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%.3f\t%d/%d\n",
+					cl.name, len(cl.queries), m.p50.Microseconds(), m.p99.Microseconds(), m.precision, checked, min(verify, len(cl.queries)))
+				if bench {
+					name := fmt.Sprintf("BenchmarkFedload/partition=%s/shards=%d/%s", scheme, n, cl.name)
+					fmt.Printf("%s-1 \t%d\t%d ns/op\t%d p50-ns\t%d p99-ns\t%.3f precision\n",
+						name, len(cl.queries), m.mean.Nanoseconds(), m.p50.Nanoseconds(), m.p99.Nanoseconds(), m.precision)
+				}
+			}
+			tw.Flush()
+			cluster.Close()
+		}
+	}
+	return nil
+}
+
+// class is one query family of the load mix; its queries are
+// generated once and replayed identically on every topology.
+type class struct {
+	name    string
+	queries []fed.Query
+}
+
+// buildClasses derives the seeded query mix from the generated chain:
+// real actor names, occupied regions, and windows sized to the tip.
+func buildClasses(c *chain.Chain, seed uint64, perClass int) []class {
+	blocks := c.Blocks()
+	tip := c.Height()
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x66656432))
+
+	// Sample actor names and region occupancy from a spread of blocks.
+	var actors []string
+	seen := map[string]bool{}
+	regionHist := make([]int64, fed.NumRegions)
+	for i := 0; i < len(blocks); i += 1 + len(blocks)/512 {
+		for _, t := range blocks[i].Txns {
+			regionHist[fed.RegionOf(t)]++
+			etl.ActorsOf(t, func(a string) {
+				if a != "" && !seen[a] {
+					seen[a] = true
+					actors = append(actors, a)
+				}
+			})
+		}
+	}
+	if len(actors) == 0 {
+		actors = []string{"nobody"}
+	}
+	var busyRegions []int
+	for r, n := range regionHist {
+		if n > 0 {
+			busyRegions = append(busyRegions, r)
+		}
+	}
+	if len(busyRegions) == 0 {
+		busyRegions = []int{0}
+	}
+
+	// window returns a random height range covering frac of the chain
+	// (plus jitter), aligned nowhere in particular — the shard-boundary
+	// overlap this produces is exactly what routing precision measures.
+	window := func(frac float64) etl.Range {
+		w := int64(float64(tip) * frac * (0.6 + rng.Float64()))
+		if w < 1 {
+			w = 1
+		}
+		from := rng.Int63n(tip - w + 1)
+		return etl.Range{From: from, To: from + w}
+	}
+	types := []chain.TxnType{
+		chain.TxnPoCReceipt, chain.TxnPayment, chain.TxnAddGateway,
+		chain.TxnAssertLocation, chain.TxnRewards,
+	}
+
+	gen := func(name string, f func() fed.Query) class {
+		cl := class{name: name}
+		for i := 0; i < perClass; i++ {
+			cl.queries = append(cl.queries, f())
+		}
+		return cl
+	}
+	return []class{
+		gen("count-full", func() fed.Query {
+			return fed.Query{Kind: fed.KindCount, Range: etl.All()}
+		}),
+		gen("mix-full", func() fed.Query {
+			return fed.Query{Kind: fed.KindMix, Range: etl.All()}
+		}),
+		gen("count-type", func() fed.Query {
+			return fed.Query{Kind: fed.KindCount, Range: etl.All(),
+				Filter: etl.Filter{Types: []chain.TxnType{types[rng.Intn(len(types))]}}}
+		}),
+		gen("count-window", func() fed.Query {
+			return fed.Query{Kind: fed.KindCount, Range: window(0.08)}
+		}),
+		gen("count-region", func() fed.Query {
+			return fed.Query{Kind: fed.KindCount, Range: etl.All(),
+				HasRegion: true, Region: busyRegions[rng.Intn(len(busyRegions))]}
+		}),
+		gen("actor-txns", func() fed.Query {
+			return fed.Query{Kind: fed.KindTxns, Range: etl.All(), Limit: 100,
+				Filter: etl.Filter{Actors: []string{actors[rng.Intn(len(actors))]}}}
+		}),
+		gen("txns-window", func() fed.Query {
+			return fed.Query{Kind: fed.KindTxns, Range: window(0.05), Limit: 100}
+		}),
+		gen("topk-actors", func() fed.Query {
+			return fed.Query{Kind: fed.KindTopActors, Range: window(0.25), K: 10}
+		}),
+	}
+}
+
+// metrics is one class's latency/precision aggregate on one topology.
+type metrics struct {
+	mean, p50, p99 time.Duration
+	precision      float64
+}
+
+// runClass fires the class's queries through concurrent workers and
+// aggregates latency and routing precision.
+func runClass(cluster *fed.Cluster, cl class, concurrency int) (metrics, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	lat := make([]time.Duration, len(cl.queries))
+	prec := make([]float64, len(cl.queries))
+	errs := make(chan error, concurrency)
+	next := make(chan int)
+	go func() {
+		for i := range cl.queries {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			for i := range next {
+				start := time.Now()
+				res, err := cluster.Query(context.Background(), cl.queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				lat[i] = time.Since(start)
+				prec[i] = res.Precision()
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < concurrency; w++ {
+		if err := <-errs; err != nil {
+			return metrics{}, err
+		}
+	}
+
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	var psum float64
+	for _, p := range prec {
+		psum += p
+	}
+	return metrics{
+		mean:      sum / time.Duration(len(sorted)),
+		p50:       sorted[len(sorted)/2],
+		p99:       sorted[len(sorted)*99/100],
+		precision: psum / float64(len(prec)),
+	}, nil
+}
+
+// sameResult compares a federated result against the reference oracle
+// bit-for-bit on the fields the query's kind populates.
+func sameResult(q fed.Query, got, want *fed.Result) error {
+	if len(got.Missing) > 0 {
+		return fmt.Errorf("result degraded (missing shards %v)", got.Missing)
+	}
+	switch q.Kind {
+	case fed.KindCount:
+		if got.Count != want.Count {
+			return fmt.Errorf("count %d, reference %d", got.Count, want.Count)
+		}
+	case fed.KindMix:
+		if len(got.Mix) != len(want.Mix) {
+			return fmt.Errorf("mix has %d types, reference %d", len(got.Mix), len(want.Mix))
+		}
+		for tt, n := range want.Mix {
+			if got.Mix[tt] != n {
+				return fmt.Errorf("mix[%v] = %d, reference %d", tt, got.Mix[tt], n)
+			}
+		}
+	case fed.KindTopActors:
+		if len(got.TopActors) != len(want.TopActors) {
+			return fmt.Errorf("top-actors has %d entries, reference %d", len(got.TopActors), len(want.TopActors))
+		}
+		for i := range want.TopActors {
+			if got.TopActors[i] != want.TopActors[i] {
+				return fmt.Errorf("top-actors[%d] = %+v, reference %+v", i, got.TopActors[i], want.TopActors[i])
+			}
+		}
+	case fed.KindTxns:
+		if len(got.Txns) != len(want.Txns) {
+			return fmt.Errorf("page has %d txns, reference %d", len(got.Txns), len(want.Txns))
+		}
+		for i := range want.Txns {
+			g, w := got.Txns[i], want.Txns[i]
+			if g.Height != w.Height || g.Seq != w.Seq || g.Hash != w.Hash {
+				return fmt.Errorf("txns[%d] = (%d,%d,%s), reference (%d,%d,%s)",
+					i, g.Height, g.Seq, g.Hash, w.Height, w.Seq, w.Hash)
+			}
+		}
+		if got.HasMore != want.HasMore || (got.HasMore && got.Next != want.Next) {
+			return fmt.Errorf("page continuation (%v,%v), reference (%v,%v)", got.HasMore, got.Next, want.HasMore, want.Next)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("shard count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -15,6 +15,10 @@
 //   - closecheck: Close/Sync errors on durable write handles are never
 //     silently dropped, because an unchecked Close after a write is a
 //     lost crash-safety guarantee.
+//   - mutexguard: fields annotated `// guarded by mu` are only touched
+//     in functions that acquire that guard (or are *Locked by
+//     convention), so the follower-shard concurrency code cannot grow
+//     lock-free accessors.
 //
 // cmd/peoplesnetlint is the driver; it runs standalone over the module
 // or under `go vet -vettool=`.
@@ -85,7 +89,7 @@ type Suppression struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck}
+	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck, MutexGuard}
 }
 
 // ByName resolves a comma-separated analyzer selection.

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces the `// guarded by mu` field annotation: a
+// struct field whose comment names its guard may only be touched
+// inside a function that visibly acquires that guard (a Lock or RLock
+// call on a mutex of that name anywhere in the body) or that declares
+// the caller holds it by the *Locked naming convention. The check is
+// deliberately a heuristic — it keys on the guard's field name, not a
+// lock-set analysis — but it catches the common regression: a new
+// accessor reading shared state with no locking at all.
+//
+// Composite literals don't count as access: construction happens
+// before the value is shared, which is exactly when lock-free
+// initialization is correct.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc: "require fields annotated `// guarded by mu` to be accessed only in\n" +
+		"functions that acquire a guard of that name (or are *Locked by\n" +
+		"convention); shared state touched with no lock in sight is a data\n" +
+		"race waiting for a scheduler change.",
+	Run: runMutexGuard,
+}
+
+// guardRe extracts the guard's field name from an annotation; a
+// dotted path ("guarded by s.mu") keeps only the final component,
+// since that is the name a Lock call selects.
+var guardRe = regexp.MustCompile(`guarded by (?:\w+\.)*(\w+)`)
+
+func runMutexGuard(pass *Pass) error {
+	// Pass 1: collect annotated fields, keyed by their type object so
+	// every use site resolves back to the annotation.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				var txt string
+				if fld.Doc != nil {
+					txt = fld.Doc.Text()
+				}
+				if fld.Comment != nil {
+					txt += " " + fld.Comment.Text()
+				}
+				m := guardRe.FindStringSubmatch(txt)
+				if m == nil {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// The *Locked suffix is the repo's "caller holds the lock"
+			// convention; such helpers are checked at their call sites'
+			// functions, not here.
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedGuards(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok || !obj.IsField() {
+					return true
+				}
+				guard, ok := guarded[obj]
+				if !ok || locked[guard] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is guarded by %s, but %s never acquires it; lock %s, or rename the function *Locked if the caller holds it",
+					sel.Sel.Name, guard, fn.Name.Name, guard)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockedGuards collects the names of every mutex the function body
+// calls Lock or RLock on: `mu.Lock()` and `n.mu.RLock()` both record
+// "mu". Acquisition anywhere in the body counts for the whole body —
+// cheap, and wrong only for code that releases before touching state,
+// which reads as suspicious under review anyway.
+func lockedGuards(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestMutexGuardFixture(t *testing.T) {
+	res := runFixture(t, "mutexguard", MutexGuard,
+		"peoplesnet/internal/fed",
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("mutexguard fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 3 {
+		t.Errorf("mutexguard fixture expects 3 findings (err read, seq write, cross-struct read), got %d", len(res.Diagnostics))
+	}
+}

@@ -1,0 +1,63 @@
+// Package fed mirrors the shapes of the real federated tier's
+// concurrency code: annotated guarded fields, accessors that lock,
+// accessors that forget to, *Locked helpers, and lock-free
+// construction.
+package fed
+
+import "sync"
+
+type node struct {
+	mu  sync.RWMutex
+	seq map[string]int // guarded by mu
+	err error          // guarded by mu
+
+	tip int64 // unannotated: free to touch
+}
+
+// newNode initializes guarded fields in a composite literal —
+// construction precedes sharing, so no lock is required.
+func newNode() *node {
+	return &node{seq: map[string]int{}}
+}
+
+func (n *node) seqOf(k string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.seq[k]
+}
+
+func (n *node) setErr(err error) {
+	n.mu.Lock()
+	n.err = err
+	n.mu.Unlock()
+}
+
+func (n *node) lastErr() error {
+	return n.err // want "guarded by mu"
+}
+
+func (n *node) register(k string, v int) {
+	n.seq[k] = v // want "guarded by mu"
+}
+
+// seqLenLocked declares by name that its caller holds mu.
+func (n *node) seqLenLocked() int { return len(n.seq) }
+
+func (n *node) tipHeight() int64 { return n.tip }
+
+// tail mirrors etl.Tail: its guard lives on another struct, named by
+// a dotted annotation path; only the final component is the guard.
+type tail struct {
+	n      *node
+	closed bool // guarded by n.mu
+}
+
+func (t *tail) close() {
+	t.n.mu.Lock()
+	t.closed = true
+	t.n.mu.Unlock()
+}
+
+func (t *tail) isClosed() bool {
+	return t.closed // want "guarded by mu"
+}

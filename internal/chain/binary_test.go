@@ -163,5 +163,16 @@ func FuzzDecodeBlock(f *testing.F) {
 			t.Fatalf("round trip changed block: %d/%d txns, heights %d/%d",
 				len(b.Txns), len(b2.Txns), b.Height, b2.Height)
 		}
+		if !b2.Timestamp.Equal(b.Timestamp) || b2.PrevHash != b.PrevHash || b2.Hash != b.Hash {
+			t.Fatalf("round trip changed header: %+v vs %+v", b2, b)
+		}
+		for i := range b.Txns {
+			if Hash(b2.Txns[i]) != Hash(b.Txns[i]) {
+				t.Fatalf("round trip changed txn %d content: %#v vs %#v", i, b2.Txns[i], b.Txns[i])
+			}
+		}
+		if b2.computeHash(nil) != b.computeHash(nil) {
+			t.Fatal("round trip changed the recomputable block hash")
+		}
 	})
 }

@@ -135,6 +135,18 @@ func actorsOf(t chain.Txn, emit func(string)) {
 	}
 }
 
+// ActorsOf calls emit for every address t mentions, in the txn's own
+// field order (possibly with duplicates). It is the single definition
+// of "whose timeline does this transaction belong on" — the posting
+// builder above, the federation layer's partitioning (internal/fed),
+// and actor aggregations all share it.
+func ActorsOf(t chain.Txn, emit func(string)) { actorsOf(t, emit) }
+
+// Mentions reports whether t names the actor — the exact predicate
+// behind Filter.Actors, exported so federated shards and correctness
+// oracles apply identical semantics.
+func Mentions(t chain.Txn, actor string) bool { return mentionsActor(t, actor) }
+
 // mentionsActor reports whether t names the actor — used to filter
 // shared postings exactly.
 func mentionsActor(t chain.Txn, actor string) bool {

@@ -1,0 +1,111 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
+)
+
+// Cluster bundles a partition's worth of in-process shard nodes with
+// the router fronting them — the single-binary deployment of the
+// federated tier, and the topology cmd/explorer and cmd/fedload run.
+type Cluster struct {
+	part      Partition
+	nodes     []*Node
+	router    *Router
+	sourceTip func() int64
+}
+
+// FollowChain builds a cluster whose nodes tail a live producer
+// chain, one node per partition slice. Nodes ingest concurrently;
+// use WaitHeight to synchronize with a known tip.
+func FollowChain(c *chain.Chain, part Partition, opts Options) *Cluster {
+	return build(part, opts, c.Height, func() Source { return NewChainSource(c) })
+}
+
+// FollowStore builds a cluster whose nodes tail an upstream etl.Store
+// through its lossless Tail.
+func FollowStore(up *etl.Store, part Partition, opts Options) *Cluster {
+	return build(part, opts, up.Height, func() Source { return NewStoreSource(up) })
+}
+
+func build(part Partition, opts Options, tip func() int64, newSource func() Source) *Cluster {
+	n := part.NumShards()
+	cl := &Cluster{part: part, sourceTip: tip}
+	shards := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		node := newNode(ShardID(i), part, newSource())
+		cl.nodes = append(cl.nodes, node)
+		shards[i] = &localShard{n: node}
+	}
+	cl.router = NewRouter(part, shards, opts, tip)
+	return cl
+}
+
+// Query routes one federated query through the cluster.
+func (cl *Cluster) Query(ctx context.Context, q Query) (*Result, error) {
+	return cl.router.Query(ctx, q)
+}
+
+// Plan exposes the router's shard selection (for precision studies).
+func (cl *Cluster) Plan(q Query) []ShardID { return cl.router.Plan(q) }
+
+// Partition returns the cluster's partition.
+func (cl *Cluster) Partition() Partition { return cl.part }
+
+// Router returns the cluster's router.
+func (cl *Cluster) Router() *Router { return cl.router }
+
+// Shards snapshots every shard's operational state with lag relative
+// to the source tip — the /etl health surface.
+func (cl *Cluster) Shards() []ShardInfo {
+	tip := cl.sourceTip()
+	out := make([]ShardInfo, len(cl.nodes))
+	for i, n := range cl.nodes {
+		info := n.Info()
+		if lag := tip - info.Tip; lag > 0 {
+			info.Lag = lag
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// WaitHeight blocks until every node's store has ingested through
+// height, a node fails, or the context expires. Nodes append every
+// upstream height, so store tips are exact progress markers.
+func (cl *Cluster) WaitHeight(ctx context.Context, height int64) error {
+	for {
+		caughtUp := true
+		for _, n := range cl.nodes {
+			if err := n.Err(); err != nil {
+				return err
+			}
+			if n.store.Height() < height {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// Close stops every node and returns any ingest error.
+func (cl *Cluster) Close() error {
+	var errs []error
+	for _, n := range cl.nodes {
+		if err := n.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

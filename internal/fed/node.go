@@ -1,0 +1,243 @@
+package fed
+
+import (
+	"sync"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
+)
+
+// Source is the block feed a shard node tails: a blocking iterator
+// over the producer's block sequence. Next returns the first block
+// with height beyond after, blocking until one exists; it returns
+// false only after Close. Next is called from a single goroutine (the
+// node's ingest loop); Close may race with it.
+type Source interface {
+	Next(after int64) (*chain.Block, bool)
+	Tip() int64
+	Close()
+}
+
+// NewChainSource tails a live chain.Chain through its subscription:
+// the node-facing equivalent of etl's FollowChain, pulling blocks
+// with BlocksFrom so a coalesced signal never loses data.
+func NewChainSource(c *chain.Chain) Source {
+	notify, cancel := c.Subscribe()
+	return &chainSource{c: c, notify: notify, cancel: cancel}
+}
+
+type chainSource struct {
+	c      *chain.Chain
+	notify <-chan struct{}
+	cancel func()
+	// buf holds a fetched suffix not yet handed out; only the ingest
+	// goroutine touches it.
+	buf []*chain.Block
+}
+
+func (s *chainSource) Next(after int64) (*chain.Block, bool) {
+	for {
+		for len(s.buf) > 0 && s.buf[0].Height <= after {
+			s.buf = s.buf[1:]
+		}
+		if len(s.buf) > 0 {
+			b := s.buf[0]
+			s.buf = s.buf[1:]
+			return b, true
+		}
+		s.buf = s.c.BlocksFrom(after)
+		if len(s.buf) > 0 {
+			continue
+		}
+		if _, ok := <-s.notify; !ok {
+			// Canceled. Drain any final suffix appended after the last
+			// signal we consumed, then report end of stream.
+			s.buf = s.c.BlocksFrom(after)
+			if len(s.buf) == 0 {
+				return nil, false
+			}
+		}
+	}
+}
+
+func (s *chainSource) Tip() int64 { return s.c.Height() }
+func (s *chainSource) Close()     { s.cancel() }
+
+// NewStoreSource tails an upstream etl.Store through its lossless
+// Tail (Store.Follow), for topologies where shards hang off a primary
+// store rather than the chain producer itself.
+func NewStoreSource(up *etl.Store) Source {
+	return &storeSource{up: up}
+}
+
+type storeSource struct {
+	up *etl.Store
+
+	mu     sync.Mutex
+	tail   *etl.Tail // guarded by mu
+	closed bool      // guarded by mu
+}
+
+func (s *storeSource) Next(after int64) (*chain.Block, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if s.tail == nil {
+		// Created on first use so the tail resumes exactly where the
+		// node's store left off.
+		s.tail = s.up.Follow(after)
+	}
+	t := s.tail
+	s.mu.Unlock()
+	return t.Next()
+}
+
+func (s *storeSource) Tip() int64 { return s.up.Height() }
+
+func (s *storeSource) Close() {
+	s.mu.Lock()
+	s.closed = true
+	t := s.tail
+	s.mu.Unlock()
+	if t != nil {
+		t.Close()
+	}
+}
+
+// Node is one shard: an etl.Store holding the partition slice it
+// owns, fed by a goroutine tailing the source. Per the package
+// invariant it appends a block for every upstream height — original
+// header, owned transactions only — so its store tip always equals
+// the height it has processed up to.
+type Node struct {
+	id    ShardID
+	part  Partition
+	store *etl.Store
+	src   Source
+	done  chan struct{}
+
+	mu sync.RWMutex
+	// seq maps a kept transaction to its index in the original
+	// upstream block. Txn values are pointers shared with the source
+	// blocks, so the interface key is identity, not content. This is
+	// what lets a shard answer with upstream-true (height, seq)
+	// coordinates even though its own blocks are filtered.
+	seq map[chain.Txn]int32 // guarded by mu
+	err error               // guarded by mu
+}
+
+func newNode(id ShardID, part Partition, src Source) *Node {
+	n := &Node{
+		id:    id,
+		part:  part,
+		store: etl.New(etl.Config{}),
+		src:   src,
+		done:  make(chan struct{}),
+		seq:   make(map[chain.Txn]int32),
+	}
+	go n.run()
+	return n
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	after := n.store.Height()
+	for {
+		b, ok := n.src.Next(after)
+		if !ok {
+			return
+		}
+		piece, seqs := n.filter(b)
+		n.mu.Lock()
+		for i, t := range piece.Txns {
+			n.seq[t] = seqs[i]
+		}
+		n.mu.Unlock()
+		if err := n.store.Append(piece); err != nil {
+			n.mu.Lock()
+			n.err = err
+			n.mu.Unlock()
+			return
+		}
+		after = b.Height
+	}
+}
+
+// filter projects an upstream block onto this shard: the original
+// header with only the owned transactions, plus their original
+// intra-block indexes. Height-partitioned shards adopt or blank whole
+// blocks without classifying a single transaction.
+func (n *Node) filter(b *chain.Block) (*chain.Block, []int32) {
+	if n.part.HeightOnly() {
+		if n.part.Owns(b.Height, 0) != n.id {
+			return n.header(b), nil
+		}
+		seqs := make([]int32, len(b.Txns))
+		for i := range seqs {
+			seqs[i] = int32(i)
+		}
+		return b, seqs
+	}
+	var txns []chain.Txn
+	var seqs []int32
+	for i, t := range b.Txns {
+		if n.part.Owns(b.Height, RegionOf(t)) == n.id {
+			txns = append(txns, t)
+			seqs = append(seqs, int32(i))
+		}
+	}
+	if len(txns) == 0 {
+		return n.header(b), nil
+	}
+	h := n.header(b)
+	h.Txns = txns
+	return h, seqs
+}
+
+func (n *Node) header(b *chain.Block) *chain.Block {
+	return &chain.Block{Height: b.Height, Timestamp: b.Timestamp, PrevHash: b.PrevHash, Hash: b.Hash}
+}
+
+// seqOf returns a kept transaction's index in its upstream block.
+func (n *Node) seqOf(t chain.Txn) int32 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.seq[t]
+}
+
+// Err returns the first ingest error, if any.
+func (n *Node) Err() error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.err
+}
+
+// Store exposes the node's underlying store (read-only use).
+func (n *Node) Store() *etl.Store { return n.store }
+
+// Close stops the ingest loop and waits for it to exit.
+func (n *Node) Close() error {
+	n.src.Close()
+	<-n.done
+	return n.Err()
+}
+
+// Info snapshots the node for operational surfaces. Lag is filled in
+// by the cluster, which knows the source tip.
+func (n *Node) Info() ShardInfo {
+	st := n.store.Stats()
+	info := ShardInfo{
+		ID:     n.id,
+		Slice:  n.part.Describe(n.id),
+		Tip:    st.TipHeight,
+		Blocks: st.Blocks,
+		Txns:   st.Txns,
+		Health: n.store.Health(),
+	}
+	if err := n.Err(); err != nil {
+		info.Err = err.Error()
+	}
+	return info
+}

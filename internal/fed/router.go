@@ -1,0 +1,199 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"peoplesnet/internal/etl"
+)
+
+// Router plans federated queries against a partition, fans them out
+// to shards in parallel, and merges the partials with the kind's
+// strategy.
+type Router struct {
+	part   Partition
+	shards []Shard // indexed by ShardID
+	opts   Options
+	// sourceTip reports the producer's tip for lag accounting; nil
+	// falls back to the highest tip any answering shard reported.
+	sourceTip func() int64
+}
+
+// NewRouter builds a router over shards (indexed by ShardID, one per
+// partition slice).
+func NewRouter(part Partition, shards []Shard, opts Options, sourceTip func() int64) *Router {
+	if len(shards) != part.NumShards() {
+		panic(fmt.Sprintf("fed: %d shards for a %d-shard partition", len(shards), part.NumShards()))
+	}
+	return &Router{part: part, shards: shards, opts: opts, sourceTip: sourceTip}
+}
+
+// Plan selects the shards whose partition slice can contain answers:
+// the routing-precision step. A shard is planned iff its slice
+// intersects the query's height range and, for region-restricted
+// queries, can own the region.
+func (rt *Router) Plan(q Query) []ShardID {
+	from, to := q.Range.From, q.Range.To
+	if to < 0 {
+		to = math.MaxInt64
+	}
+	var planned []ShardID
+	for id := range rt.shards {
+		sh := ShardID(id)
+		if !rt.part.CoversHeights(sh, from, to) {
+			continue
+		}
+		if q.HasRegion && !rt.part.CoversRegion(sh, q.Region) {
+			continue
+		}
+		planned = append(planned, sh)
+	}
+	return planned
+}
+
+// Query runs one federated query: plan, parallel fan-out with
+// per-shard timeouts, quorum check, then strategy merge. Shards that
+// fail or time out degrade to Result.Missing + Result.Gaps as long as
+// the quorum holds; answering shards beyond the lag budget are
+// flagged in Result.Stale, never awaited.
+func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
+	start := time.Now()
+	planned := rt.Plan(q)
+	res := &Result{Planned: planned}
+
+	type reply struct {
+		id  ShardID
+		p   *Partial
+		err error
+	}
+	replies := make(chan reply, len(planned))
+	for _, id := range planned {
+		go func(id ShardID) {
+			qctx := ctx
+			if rt.opts.PerShardTimeout > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithTimeout(ctx, rt.opts.PerShardTimeout)
+				defer cancel()
+			}
+			p, err := rt.shards[id].Query(qctx, q)
+			replies <- reply{id: id, p: p, err: err}
+		}(id)
+	}
+
+	var parts []*Partial
+	for range planned {
+		r := <-replies
+		if r.err != nil {
+			res.Missing = append(res.Missing, r.id)
+			continue
+		}
+		parts = append(parts, r.p)
+	}
+	// Deterministic merge order regardless of arrival order.
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Shard < parts[j].Shard })
+	sort.Slice(res.Missing, func(i, j int) bool { return res.Missing[i] < res.Missing[j] })
+
+	if quo := rt.opts.quorum(); len(planned) > 0 && float64(len(parts)) < quo*float64(len(planned)) {
+		return nil, fmt.Errorf("fed: %d/%d shards answered, below quorum %.2f", len(parts), len(planned), quo)
+	}
+	res.Gaps = rt.gapsFor(q, res.Missing)
+
+	srcTip := int64(-1)
+	if rt.sourceTip != nil {
+		srcTip = rt.sourceTip()
+	} else {
+		for _, p := range parts {
+			if p.Tip > srcTip {
+				srcTip = p.Tip
+			}
+		}
+	}
+	for _, p := range parts {
+		if behind := srcTip - p.Tip; behind > rt.opts.LagBudget {
+			res.Stale = append(res.Stale, ShardLag{Shard: p.Shard, Tip: p.Tip, Behind: behind})
+		}
+	}
+
+	st := StrategyFor(q.Kind)
+	res.Strategy = st.Name()
+	st.Merge(q, parts, res)
+	for _, p := range parts {
+		if contributed(q.Kind, p) {
+			res.Contributing++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// gapsFor converts missing shards into the height intervals of the
+// query they leave unanswered: the shard's height span intersected
+// with the query range, merged where adjacent. For region-sliced
+// shards the span is the whole query range — a missing region shard
+// can hide answers at any height.
+func (rt *Router) gapsFor(q Query, missing []ShardID) []etl.Gap {
+	if len(missing) == 0 {
+		return nil
+	}
+	qFrom, qTo := q.Range.From, q.Range.To
+	if qTo < 0 {
+		qTo = math.MaxInt64
+	}
+	var gaps []etl.Gap
+	for _, id := range missing {
+		from, to := rt.part.HeightSpan(id)
+		if from < qFrom {
+			from = qFrom
+		}
+		if to > qTo {
+			to = qTo
+		}
+		if from > to {
+			continue
+		}
+		g := etl.Gap{From: from, To: to}
+		if to == math.MaxInt64 {
+			g.To = -1 // open-ended, matching etl's gap convention
+		}
+		gaps = append(gaps, g)
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i].From < gaps[j].From })
+	// Coalesce adjacent/overlapping spans (height partitions produce
+	// back-to-back ranges when neighboring shards both miss).
+	merged := gaps[:0]
+	for _, g := range gaps {
+		if n := len(merged); n > 0 {
+			prev := &merged[n-1]
+			if prev.To == -1 {
+				continue
+			}
+			if g.From <= prev.To+1 {
+				if g.To == -1 || g.To > prev.To {
+					prev.To = g.To
+				}
+				continue
+			}
+		}
+		merged = append(merged, g)
+	}
+	return merged
+}
+
+// contributed reports whether a shard's partial holds any answers —
+// the numerator of routing precision.
+func contributed(k Kind, p *Partial) bool {
+	switch k {
+	case KindCount:
+		return p.Count > 0
+	case KindMix:
+		return len(p.Mix) > 0
+	case KindTopActors:
+		return len(p.Actors) > 0
+	case KindTxns:
+		return len(p.Txns) > 0
+	}
+	return false
+}

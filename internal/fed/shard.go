@@ -1,0 +1,175 @@
+package fed
+
+import (
+	"context"
+	"sort"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
+)
+
+// Shard answers queries for one partition slice. The in-process
+// implementation wraps a Node; tests wrap Shards to inject latency
+// and failure.
+type Shard interface {
+	Info() ShardInfo
+	Query(ctx context.Context, q Query) (*Partial, error)
+}
+
+// localShard answers from a Node's store in-process.
+type localShard struct{ n *Node }
+
+func (s *localShard) Info() ShardInfo { return s.n.Info() }
+
+// ctxCheckStride is how many visited transactions pass between
+// context checks during a scan — frequent enough that a per-shard
+// timeout actually interrupts a long scan, rare enough to stay off
+// the per-txn fast path.
+const ctxCheckStride = 1024
+
+func (s *localShard) Query(ctx context.Context, q Query) (*Partial, error) {
+	if err := s.n.Err(); err != nil {
+		return nil, err
+	}
+	p := &Partial{Shard: s.n.id, Tip: s.n.store.Height()}
+	var err error
+	switch q.Kind {
+	case KindCount:
+		err = s.count(ctx, q, p)
+	case KindMix:
+		err = s.mix(ctx, q, p)
+	case KindTopActors:
+		err = s.topActors(ctx, q, p)
+	case KindTxns:
+		err = s.txns(ctx, q, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// scan visits matching transactions in chain order, honoring the
+// query's region restriction and checking ctx every ctxCheckStride
+// transactions. fn returning false stops the scan early (not an
+// error).
+func (s *localShard) scan(ctx context.Context, q Query, fn func(h int64, t chain.Txn) bool) error {
+	var visited int
+	var err error
+	s.n.store.Scan(q.Range, q.Filter, func(h int64, t chain.Txn) bool {
+		if visited++; visited%ctxCheckStride == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		if !q.matchesRegion(t) {
+			return true
+		}
+		return fn(h, t)
+	})
+	return err
+}
+
+// wholeStore reports the query covers the shard's entire store with
+// no filter, so materialized aggregates answer in O(1)/O(types)
+// without a scan.
+func (s *localShard) wholeStore(q Query) bool {
+	if q.HasRegion || len(q.Filter.Types) > 0 || len(q.Filter.Actors) > 0 {
+		return false
+	}
+	first, tip := s.n.store.FirstHeight(), s.n.store.Height()
+	if first < 0 {
+		return false
+	}
+	return q.Range.From <= first && (q.Range.To < 0 || q.Range.To >= tip)
+}
+
+func (s *localShard) count(ctx context.Context, q Query, p *Partial) error {
+	if s.wholeStore(q) {
+		p.Count = s.n.store.TxnCount()
+		return nil
+	}
+	return s.scan(ctx, q, func(int64, chain.Txn) bool {
+		p.Count++
+		return true
+	})
+}
+
+func (s *localShard) mix(ctx context.Context, q Query, p *Partial) error {
+	if s.wholeStore(q) {
+		p.Mix = s.n.store.TxnMix()
+		return nil
+	}
+	p.Mix = make(map[chain.TxnType]int64)
+	return s.scan(ctx, q, func(_ int64, t chain.Txn) bool {
+		p.Mix[t.TxnType()]++
+		return true
+	})
+}
+
+func (s *localShard) topActors(ctx context.Context, q Query, p *Partial) error {
+	counts := make(map[string]int64)
+	var seen []string // per-txn dedupe scratch
+	err := s.scan(ctx, q, func(_ int64, t chain.Txn) bool {
+		seen = seen[:0]
+		etl.ActorsOf(t, func(a string) {
+			if a == "" {
+				return
+			}
+			for _, prev := range seen {
+				if prev == a {
+					return
+				}
+			}
+			seen = append(seen, a)
+			counts[a]++
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	p.Actors = rankActors(counts)
+	return nil
+}
+
+// rankActors orders a mention count map by (count desc, actor asc) —
+// the one total order every ranking surface in the tier shares, so
+// truncation at K is deterministic everywhere.
+func rankActors(counts map[string]int64) []ActorCount {
+	out := make([]ActorCount, 0, len(counts))
+	for a, c := range counts {
+		out = append(out, ActorCount{Actor: a, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Actor < out[j].Actor
+	})
+	return out
+}
+
+func (s *localShard) txns(ctx context.Context, q Query, p *Partial) error {
+	limit := q.pageLimit()
+	r := q.Range
+	if q.Cursor.Height > r.From {
+		// Resume scanning at the cursor block, not the range start.
+		r.From = q.Cursor.Height
+	}
+	qr := q
+	qr.Range = r
+	err := s.scan(ctx, qr, func(h int64, t chain.Txn) bool {
+		rec := TxnRec{Height: h, Seq: s.n.seqOf(t), Type: t.TxnType().String(), Hash: chain.Hash(t), Txn: t}
+		if rec.cursor().before(q.Cursor) {
+			return true
+		}
+		if len(p.Txns) == limit {
+			p.More = true
+			return false
+		}
+		p.Txns = append(p.Txns, rec)
+		return true
+	})
+	return err
+}

@@ -1,0 +1,133 @@
+package fed
+
+import (
+	"sync"
+
+	"peoplesnet/internal/chain"
+)
+
+// Strategy merges per-shard partials into the federated result. The
+// router hands it partials sorted by shard ID, so a deterministic
+// strategy yields a deterministic result. Because the partition tiles
+// transactions exactly (each txn on exactly one shard), every stock
+// strategy is exact, not approximate.
+type Strategy interface {
+	Name() string
+	Merge(q Query, parts []*Partial, res *Result)
+}
+
+var (
+	strategyMu sync.RWMutex
+	strategies = map[Kind]Strategy{
+		KindCount:     sumStrategy{},
+		KindMix:       mixMergeStrategy{},
+		KindTopActors: topKMergeStrategy{},
+		KindTxns:      kwayMergeStrategy{},
+	}
+)
+
+// RegisterStrategy replaces the aggregation strategy for a query
+// kind, for deployments that want e.g. sampled or sketched merges.
+func RegisterStrategy(k Kind, s Strategy) {
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	strategies[k] = s
+}
+
+// StrategyFor returns the registered strategy for a kind.
+func StrategyFor(k Kind) Strategy {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	return strategies[k]
+}
+
+// sumStrategy adds shard counts.
+type sumStrategy struct{}
+
+func (sumStrategy) Name() string { return "sum" }
+
+func (sumStrategy) Merge(_ Query, parts []*Partial, res *Result) {
+	for _, p := range parts {
+		res.Count += p.Count
+	}
+}
+
+// mixMergeStrategy adds per-type counts.
+type mixMergeStrategy struct{}
+
+func (mixMergeStrategy) Name() string { return "mix-merge" }
+
+func (mixMergeStrategy) Merge(_ Query, parts []*Partial, res *Result) {
+	res.Mix = make(map[chain.TxnType]int64)
+	for _, p := range parts {
+		for tt, c := range p.Mix {
+			res.Mix[tt] += c
+		}
+	}
+}
+
+// topKMergeStrategy merges complete per-shard rankings, re-ranks, and
+// truncates to K. Shards ship full rankings (Partial.Actors), which
+// is what makes this an ordered top-k merge rather than the lossy
+// union-of-local-top-k heuristic: an actor scattered thinly across
+// shards still totals correctly.
+type topKMergeStrategy struct{}
+
+func (topKMergeStrategy) Name() string { return "topk-merge" }
+
+func (topKMergeStrategy) Merge(q Query, parts []*Partial, res *Result) {
+	acc := make(map[string]int64)
+	for _, p := range parts {
+		for _, ac := range p.Actors {
+			acc[ac.Actor] += ac.Count
+		}
+	}
+	ranked := rankActors(acc)
+	if k := q.topK(); len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	res.TopActors = ranked
+}
+
+// kwayMergeStrategy merges per-shard chain-ordered pages by (height,
+// seq) into one page. Each shard fetched up to the same page limit,
+// so the merged page's records are all <= any truncated shard's last
+// key — a truncated shard can never be hiding a record that belonged
+// on this page, which makes cursor pagination gap-free.
+type kwayMergeStrategy struct{}
+
+func (kwayMergeStrategy) Name() string { return "kway-merge" }
+
+func (kwayMergeStrategy) Merge(q Query, parts []*Partial, res *Result) {
+	limit := q.pageLimit()
+	idx := make([]int, len(parts))
+	leftover := func() bool {
+		for i, p := range parts {
+			if idx[i] < len(p.Txns) || p.More {
+				return true
+			}
+		}
+		return false
+	}
+	for len(res.Txns) < limit {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p.Txns) {
+				continue
+			}
+			if best < 0 || p.Txns[idx[i]].cursor().before(parts[best].Txns[idx[best]].cursor()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		res.Txns = append(res.Txns, parts[best].Txns[idx[best]])
+		idx[best]++
+	}
+	if leftover() {
+		res.HasMore = true
+		last := res.Txns[len(res.Txns)-1].cursor()
+		res.Next = Cursor{Height: last.Height, Seq: last.Seq + 1}
+	}
+}

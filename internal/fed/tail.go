@@ -1,0 +1,89 @@
+package fed
+
+import (
+	"sort"
+
+	"peoplesnet/internal/chain"
+)
+
+// MergedTail reassembles the upstream block sequence from the
+// shards' lossless per-store tails (etl.Tail). Every node appends
+// every upstream height, so the merge is a lock-step zip: pull one
+// piece per shard, assert the heights line up, and splice the owned
+// transactions back into original intra-block order by their
+// recorded seq. The result is bit-identical to the producer's blocks
+// — same header, same transaction pointers in the same order.
+//
+// Like the underlying tails it can never drop a block, however slow
+// the consumer; the cost of losslessness is that a failed shard
+// stalls the merge at its last ingested height until Close.
+type MergedTail struct {
+	nodes []*Node
+	tails []*tailHandle
+}
+
+// tailHandle is one shard's cursor into its store tail.
+type tailHandle struct {
+	after int64
+	src   Source
+}
+
+// Tail returns a merged tail positioned after the given height (-1
+// replays everything). Close it when done; a tail left open pins the
+// shard stores' condition broadcasts to one extra waiter each.
+func (cl *Cluster) Tail(after int64) *MergedTail {
+	mt := &MergedTail{nodes: cl.nodes}
+	for _, n := range cl.nodes {
+		mt.tails = append(mt.tails, &tailHandle{after: after, src: NewStoreSource(n.store)})
+	}
+	return mt
+}
+
+// Next returns the next reassembled upstream block, blocking until
+// every shard has ingested it. It returns false after Close or if the
+// shard streams diverge (a shard died mid-height).
+func (mt *MergedTail) Next() (*chain.Block, bool) {
+	pieces := make([]*chain.Block, len(mt.tails))
+	for i, th := range mt.tails {
+		b, ok := th.src.Next(th.after)
+		if !ok {
+			return nil, false
+		}
+		th.after = b.Height
+		pieces[i] = b
+	}
+	h := pieces[0].Height
+	for _, p := range pieces {
+		if p.Height != h {
+			return nil, false
+		}
+	}
+	out := &chain.Block{
+		Height:    h,
+		Timestamp: pieces[0].Timestamp,
+		PrevHash:  pieces[0].PrevHash,
+		Hash:      pieces[0].Hash,
+	}
+	type seqTxn struct {
+		seq int32
+		t   chain.Txn
+	}
+	var recs []seqTxn
+	for i, p := range pieces {
+		for _, t := range p.Txns {
+			recs = append(recs, seqTxn{seq: mt.nodes[i].seqOf(t), t: t})
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].seq < recs[b].seq })
+	for _, r := range recs {
+		out.Txns = append(out.Txns, r.t)
+	}
+	return out, true
+}
+
+// Close unblocks any pending Next, which then returns false.
+func (mt *MergedTail) Close() {
+	for _, th := range mt.tails {
+		th.src.Close()
+	}
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0)
+	w.U8(255)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(0)
+	w.Varint(math.MinInt64)
+	w.Varint(math.MaxInt64)
+	w.F64(0)
+	w.F64(-108.5)
+	w.F64(math.Inf(1))
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("")
+	w.Str("hs-α £ \x00\xff")
+	w.Strs(nil)
+	w.Strs([]string{"eui-1", "", "eui-2"})
+
+	r := NewReader(w.Buf)
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 = %d, want 0", got)
+	}
+	if got := r.U8(); got != 255 {
+		t.Errorf("U8 = %d, want 255", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want MaxUint64", got)
+	}
+	for _, want := range []int64{0, math.MinInt64, math.MaxInt64} {
+		if got := r.Varint(); got != want {
+			t.Errorf("Varint = %d, want %d", got, want)
+		}
+	}
+	for _, want := range []float64{0, -108.5, math.Inf(1)} {
+		if got := r.F64(); got != want {
+			t.Errorf("F64 = %g, want %g", got, want)
+		}
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool pair did not round-trip as true, false")
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("Str = %q, want empty", got)
+	}
+	if got := r.Str(); got != "hs-α £ \x00\xff" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Strs(); got != nil {
+		t.Errorf("Strs = %v, want nil", got)
+	}
+	got := r.Strs()
+	if len(got) != 3 || got[0] != "eui-1" || got[1] != "" || got[2] != "eui-2" {
+		t.Errorf("Strs = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("round trip errored: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+// NaN payload bits must survive the trip even though NaN != NaN.
+func TestF64NaNBits(t *testing.T) {
+	bits := uint64(0x7ff800000000beef)
+	var w Writer
+	w.F64(math.Float64frombits(bits))
+	r := NewReader(w.Buf)
+	if got := math.Float64bits(r.F64()); got != bits || r.Err() != nil {
+		t.Fatalf("NaN bits %#x, want %#x (err %v)", got, bits, r.Err())
+	}
+}
+
+// The sticky error means reads past the first failure return zeroes
+// and the original error survives.
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{7})
+	if got := r.U8(); got != 7 || r.Err() != nil {
+		t.Fatalf("first read = %d, err %v", got, r.Err())
+	}
+	if got := r.U8(); got != 0 || r.Err() == nil {
+		t.Fatal("read past end did not fail")
+	}
+	first := r.Err()
+	_ = r.Uvarint()
+	_ = r.Str()
+	_ = r.F64()
+	if r.Err() != first {
+		t.Fatalf("sticky error replaced: %v → %v", first, r.Err())
+	}
+	if !strings.Contains(first.Error(), "truncated") {
+		t.Fatalf("unexpected error text %q", first)
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 50)
+	r := NewReader(w.Buf)
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("oversized count = %d, err %v; want 0 and error", n, r.Err())
+	}
+}
+
+// wireOps is the op vocabulary FuzzWireRoundTrip scripts over; each
+// op consumes a few script bytes for its value.
+const wireOps = 7
+
+// FuzzWireRoundTrip interprets the fuzz input as a script of typed
+// writes, encodes them with Writer, then reads them back in order:
+// every value must round-trip exactly with no bytes left over — for
+// any script the fuzzer can invent.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte("\x02\xff\xff\xff\xff\xff\xff\xff\xff\x06\x03abc"))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		type val struct {
+			op byte
+			u  uint64
+			i  int64
+			fb uint64 // F64 compared by bits so NaN payloads count
+			s  string
+			ss []string
+		}
+		take := func(pos *int, n int) []byte {
+			if *pos+n > len(script) {
+				n = len(script) - *pos
+			}
+			b := script[*pos : *pos+n]
+			*pos += n
+			return b
+		}
+		le := func(b []byte) (v uint64) {
+			for i, x := range b {
+				v |= uint64(x) << (8 * i)
+			}
+			return v
+		}
+
+		var vals []val
+		var w Writer
+		for pos := 0; pos < len(script); {
+			v := val{op: script[pos] % wireOps}
+			pos++
+			switch v.op {
+			case 0:
+				v.u = le(take(&pos, 1))
+				w.U8(uint8(v.u))
+			case 1:
+				v.u = le(take(&pos, 8))
+				w.Uvarint(v.u)
+			case 2:
+				v.i = int64(le(take(&pos, 8)))
+				w.Varint(v.i)
+			case 3:
+				v.fb = le(take(&pos, 8))
+				w.F64(math.Float64frombits(v.fb))
+			case 4:
+				v.u = le(take(&pos, 1)) & 1
+				w.Bool(v.u == 1)
+			case 5:
+				n := int(le(take(&pos, 1))) % 32
+				v.s = string(take(&pos, n))
+				w.Str(v.s)
+			case 6:
+				n := int(le(take(&pos, 1))) % 4
+				for i := 0; i < n; i++ {
+					m := int(le(take(&pos, 1))) % 8
+					v.ss = append(v.ss, string(take(&pos, m)))
+				}
+				w.Strs(v.ss)
+			}
+			vals = append(vals, v)
+		}
+
+		r := NewReader(w.Buf)
+		for i, v := range vals {
+			switch v.op {
+			case 0:
+				if got := r.U8(); uint64(got) != v.u {
+					t.Fatalf("op %d: U8 = %d, want %d", i, got, v.u)
+				}
+			case 1:
+				if got := r.Uvarint(); got != v.u {
+					t.Fatalf("op %d: Uvarint = %d, want %d", i, got, v.u)
+				}
+			case 2:
+				if got := r.Varint(); got != v.i {
+					t.Fatalf("op %d: Varint = %d, want %d", i, got, v.i)
+				}
+			case 3:
+				if got := math.Float64bits(r.F64()); got != v.fb {
+					t.Fatalf("op %d: F64 bits %#x, want %#x", i, got, v.fb)
+				}
+			case 4:
+				if got := r.Bool(); got != (v.u == 1) {
+					t.Fatalf("op %d: Bool = %v, want %v", i, got, v.u == 1)
+				}
+			case 5:
+				if got := r.Str(); got != v.s {
+					t.Fatalf("op %d: Str = %q, want %q", i, got, v.s)
+				}
+			case 6:
+				got := r.Strs()
+				if len(got) != len(v.ss) {
+					t.Fatalf("op %d: Strs len %d, want %d", i, len(got), len(v.ss))
+				}
+				for j := range v.ss {
+					if got[j] != v.ss[j] {
+						t.Fatalf("op %d: Strs[%d] = %q, want %q", i, j, got[j], v.ss[j])
+					}
+				}
+			}
+			if r.Err() != nil {
+				t.Fatalf("op %d (%d): read errored on writer-produced bytes: %v", i, v.op, r.Err())
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left after reading every value back", r.Remaining())
+		}
+	})
+}
+
+// FuzzReaderNoPanic reads an arbitrary op sequence from arbitrary
+// bytes: the Reader must never panic or over-allocate, only error.
+func FuzzReaderNoPanic(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 5, 6, 3}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, ops, data []byte) {
+		r := NewReader(data)
+		for _, op := range ops {
+			switch op % wireOps {
+			case 0:
+				r.U8()
+			case 1:
+				r.Uvarint()
+			case 2:
+				r.Varint()
+			case 3:
+				r.F64()
+			case 4:
+				r.Bool()
+			case 5:
+				r.Str()
+			case 6:
+				r.Strs()
+			}
+		}
+		if r.Remaining() < 0 || r.Remaining() > len(data) {
+			t.Fatalf("Remaining() = %d out of [0, %d]", r.Remaining(), len(data))
+		}
+	})
+}
