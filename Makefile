@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke
+.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed store-bench fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench-json:
 bench-trend:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	./bin/benchjson -trend
+
+# Storage engine v2 numbers (EXPERIMENTS.md "Storage engine v2"):
+# postings compression ratio, cold-start time-to-first-query vs full
+# preload, and checkpointed vs full ledger replay.
+store-bench:
+	$(GO) test -run xxx -bench 'BenchmarkStore' -benchtime 10x .
 
 # Federated query tier under load: P50/P99 per query class, routing
 # precision, 1/2/4/8-shard scaling, every result verified against the
@@ -69,12 +75,16 @@ recovery:
 
 # Coverage-guided fuzzing over the codecs: the chain block decoder
 # must decode-or-error on arbitrary bytes, the wire primitives must
-# round-trip any write script exactly, and the wire reader must never
-# panic on garbage. (`go test -fuzz` takes one target per run.)
+# round-trip any write script exactly, the wire reader must never
+# panic on garbage, and the v2 store codecs (compressed postings,
+# ledger checkpoint) must round-trip clean input and reject hostile
+# input without panicking. (`go test -fuzz` takes one target per run.)
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecodeBlock -fuzztime 10s -run xxx ./internal/chain/
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 5s -run xxx ./internal/wire/
 	$(GO) test -fuzz FuzzReaderNoPanic -fuzztime 5s -run xxx ./internal/wire/
+	$(GO) test -fuzz FuzzPostingRoundTrip -fuzztime 10s -run xxx ./internal/etl/
+	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 5s -run xxx ./internal/etl/
 
 # Federation smoke: 4 height-sliced and 4 region-sliced in-process
 # shards answer the full query matrix under the race detector, every

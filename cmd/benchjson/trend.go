@@ -7,14 +7,18 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // trend compares the two newest BENCH_*.json records in dir and
-// reports every benchmark whose ns/op moved more than threshold in
-// either direction. It returns an error (the `make bench-trend` gate
-// fails) only for regressions; fewer than two records, or records from
-// different world scales, degrade to a notice — a gate that cannot
-// compare must not block.
+// reports every benchmark whose ns/op — or any size metric
+// (store_B/block, postings_B, ...) — moved more than threshold in
+// either direction. Size metrics gate growth the way ns/op gates
+// slowdown, so a postings-compression regression fails the build just
+// like a latency one. It returns an error (the `make bench-trend`
+// gate fails) only for regressions; fewer than two records, or
+// records from different world scales, degrade to a notice — a gate
+// that cannot compare must not block.
 func trend(w io.Writer, dir string, threshold float64) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
@@ -49,22 +53,37 @@ func trend(w io.Writer, dir string, threshold float64) error {
 		filepath.Base(oldPath), filepath.Base(newPath), cur.Scale, threshold*100)
 
 	var regressions, improvements, compared int
+	classify := func(name, unit string, prev, now float64) {
+		delta := now/prev - 1
+		switch {
+		case delta > threshold:
+			regressions++
+			fmt.Fprintf(w, "  REGRESSION %s: %.0f %s → %.0f %s (%+.1f%%)\n",
+				name, prev, unit, now, unit, delta*100)
+		case delta < -threshold:
+			improvements++
+			fmt.Fprintf(w, "  improved   %s: %.0f %s → %.0f %s (%+.1f%%)\n",
+				name, prev, unit, now, unit, delta*100)
+		}
+	}
 	for _, b := range cur.Benchmarks {
 		prev, ok := base[benchKey(b)]
 		if !ok || prev.NsPerOp <= 0 {
 			continue
 		}
 		compared++
-		delta := b.NsPerOp/prev.NsPerOp - 1
-		switch {
-		case delta > threshold:
-			regressions++
-			fmt.Fprintf(w, "  REGRESSION %s: %.0f ns/op → %.0f ns/op (%+.1f%%)\n",
-				b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
-		case delta < -threshold:
-			improvements++
-			fmt.Fprintf(w, "  improved   %s: %.0f ns/op → %.0f ns/op (%+.1f%%)\n",
-				b.Name, prev.NsPerOp, b.NsPerOp, delta*100)
+		classify(b.Name, "ns/op", prev.NsPerOp, b.NsPerOp)
+		// Size metrics: lower is better, same threshold. Iterate in
+		// sorted unit order for deterministic output.
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if sizeMetric(unit) && prev.Metrics[unit] > 0 {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			classify(b.Name+" ["+unit+"]", unit, prev.Metrics[unit], b.Metrics[unit])
 		}
 	}
 	fmt.Fprintf(w, "bench-trend: %d compared, %d regressed, %d improved\n",
@@ -82,6 +101,15 @@ func trend(w io.Writer, dir string, threshold float64) error {
 // benchKey identifies a benchmark across records: same name run under
 // a different GOMAXPROCS is a different measurement.
 func benchKey(b Benchmark) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs) }
+
+// sizeMetric reports whether a custom unit measures bytes, where
+// growth is a regression. The store benchmarks name byte units with a
+// `_B` suffix (postings_B, store_B/block, postings_B/entry), which
+// keeps them distinct from throughput rates (MB/s, blocks/s) where
+// bigger is better.
+func sizeMetric(unit string) bool {
+	return strings.HasSuffix(unit, "_B") || strings.Contains(unit, "_B/")
+}
 
 func readRecord(path string) (*Record, error) {
 	data, err := os.ReadFile(path)

@@ -88,6 +88,46 @@ func TestTrendAckPassesButReports(t *testing.T) {
 	}
 }
 
+// Size metrics (the `_B` byte units from the store benchmarks) gate
+// growth like ns/op gates slowdown; rate units (blocks/s) are never
+// treated as regressions when they grow.
+func TestTrendGatesSizeMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{
+		{Name: "StoreSize", Procs: 1, NsPerOp: 1000,
+			Metrics: map[string]float64{"postings_B": 100000, "store_B/block": 500, "blocks/s": 9000}},
+	})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{
+		{Name: "StoreSize", Procs: 1, NsPerOp: 1000,
+			Metrics: map[string]float64{"postings_B": 140000, "store_B/block": 450, "blocks/s": 90000}},
+	})
+	var buf strings.Builder
+	err := trend(&buf, dir, 0.20)
+	if err == nil {
+		t.Fatalf("trend passed a +40%% postings_B regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION StoreSize [postings_B]") {
+		t.Fatalf("size regression not named:\n%s", out)
+	}
+	if strings.Contains(out, "blocks/s") {
+		t.Fatalf("rate metric treated as a size:\n%s", out)
+	}
+
+	// Shrinking sizes pass (and report as improvements).
+	writeRecord(t, dir, "2026-01-03", "small", []Benchmark{
+		{Name: "StoreSize", Procs: 1, NsPerOp: 1000,
+			Metrics: map[string]float64{"postings_B": 50000, "store_B/block": 450}},
+	})
+	buf.Reset()
+	if err := trend(&buf, dir, 0.20); err != nil {
+		t.Fatalf("size improvement failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "improved   StoreSize [postings_B]") {
+		t.Fatalf("size improvement not reported:\n%s", buf.String())
+	}
+}
+
 // Same name under a different GOMAXPROCS is a different measurement,
 // not a baseline for comparison.
 func TestTrendKeysOnProcs(t *testing.T) {

@@ -65,9 +65,9 @@ func main() {
 			os.Exit(1)
 		}
 		h := store.Health()
-		fmt.Printf("store: %s reloaded to height %d in %v, caught up to %d (%d segments, %d WAL blocks)\n",
+		fmt.Printf("store: %s reloaded to height %d in %v, caught up to %d (%d/%d segments loaded, %d WAL blocks)\n",
 			*storeDir, reloaded, opened.Round(time.Millisecond), store.Height(),
-			h.Segments, h.WALDepth)
+			h.SegmentsLoaded, h.Segments, h.WALDepth)
 		d.Chain = store.View()
 	case !*fullscan:
 		start := time.Now()

@@ -186,10 +186,11 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 	if s.cluster != nil {
 		part := s.cluster.Partition()
 		resp["federation"] = map[string]any{
-			"partition":  part.Name(),
-			"num_shards": part.NumShards(),
-			"source_tip": s.world.Chain.Height(),
-			"shards":     s.cluster.Shards(),
+			"partition":    part.Name(),
+			"num_shards":   part.NumShards(),
+			"source_tip":   s.world.Chain.Height(),
+			"shards":       s.cluster.Shards(),
+			"result_cache": s.cluster.Router().CacheStats(),
 		}
 	}
 	writeJSON(w, resp)

@@ -11,6 +11,7 @@ package peoplesnet
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -341,6 +342,145 @@ func BenchmarkETLColdStart_Reload(b *testing.B) {
 		}
 		if s.Height() != want {
 			b.Fatalf("reloaded to %d, want %d", s.Height(), want)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- storage engine v2: size, lazy cold start, checkpointed replay --------
+//
+// The BenchmarkStore* family backs EXPERIMENTS.md "Storage engine v2"
+// and `make store-bench`: compressed-posting store size, cold-start
+// time-to-first-query with lazy segment loading vs a full preload, and
+// ledger replay resumed from a checkpoint vs replayed from genesis.
+
+// BenchmarkStoreSize reports the v2 store's size profile: total
+// on-disk bytes per block, compressed posting bytes, and bytes per
+// posting entry (v1 spent 12 bytes per entry in memory and two
+// absolute uvarints on disk — the compression-ratio baseline).
+func BenchmarkStoreSize(b *testing.B) {
+	_, storeDir := coldFixtures(b)
+	s, err := etl.Open(storeDir, etl.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var st etl.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = s.Stats()
+	}
+	b.StopTimer()
+	if st.Blocks == 0 || st.PostingsBytes == 0 {
+		b.Fatalf("degenerate stats: %+v", st)
+	}
+	var diskBytes int64
+	entries, err := os.ReadDir(storeDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		diskBytes += info.Size()
+	}
+	postings := st.TypePostings + st.ActorPostings + st.SharedPostings
+	b.ReportMetric(float64(diskBytes)/float64(st.Blocks), "store_B/block")
+	b.ReportMetric(float64(st.PostingsBytes), "postings_B")
+	b.ReportMetric(float64(st.PostingsBytes)/float64(postings), "postings_B/entry")
+}
+
+// Cold-start time-to-first-query: open the store and answer one
+// tail-window indexed query. The lazy path reads the WAL tail plus the
+// touched segments only; the preload pin materializes every segment
+// first — the v1 open behavior.
+func coldFirstQuery(b *testing.B, preload bool) {
+	_, storeDir := coldFixtures(b)
+	want := benchRes.Chain.Height()
+	// The simulated tail carries state-channel closes and rewards at
+	// every scale; denser types (PoC, payments) thin out near the tip.
+	f := etl.Filter{Types: []chain.TxnType{chain.TxnStateChannelClose, chain.TxnRewards}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := etl.Open(storeDir, etl.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if preload {
+			s.Preload()
+		}
+		tip := s.Height()
+		if tip != want {
+			b.Fatalf("reloaded to %d, want %d", tip, want)
+		}
+		var n int64
+		s.Scan(etl.Range{From: tip - 63, To: tip}, f, func(int64, chain.Txn) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("first query matched nothing")
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreColdStart_LazyFirstQuery(b *testing.B)    { coldFirstQuery(b, false) }
+func BenchmarkStoreColdStart_PreloadFirstQuery(b *testing.B) { coldFirstQuery(b, true) }
+
+// Ledger replay: resumed from the checkpoint written at the sealed
+// boundary vs replayed from genesis. The full pin deletes the
+// checkpoint before each open (replay rewrites it on the way out).
+func BenchmarkStoreReplay_Checkpointed(b *testing.B) {
+	_, storeDir := coldFixtures(b)
+	s, err := etl.Open(storeDir, etl.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Seed the checkpoint so every timed iteration resumes from it.
+	if _, err := s.ReplayLedger(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := etl.Open(storeDir, etl.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ReplayLedger(); err != nil {
+			b.Fatal(err)
+		}
+		if h := s.Health(); !strings.Contains(h.CheckpointNote, "replayed from checkpoint") {
+			b.Fatalf("replay was not checkpointed: %q", h.CheckpointNote)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreReplay_Full(b *testing.B) {
+	_, storeDir := coldFixtures(b)
+	ckpt := filepath.Join(storeDir, "ledger.ckpt")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		os.Remove(ckpt)
+		b.StartTimer()
+		s, err := etl.Open(storeDir, etl.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ReplayLedger(); err != nil {
+			b.Fatal(err)
+		}
+		if h := s.Health(); !strings.Contains(h.CheckpointNote, "full replay") {
+			b.Fatalf("replay unexpectedly checkpointed: %q", h.CheckpointNote)
 		}
 		if err := s.Close(); err != nil {
 			b.Fatal(err)

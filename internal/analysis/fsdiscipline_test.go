@@ -11,7 +11,7 @@ func TestFSDisciplineFixture(t *testing.T) {
 	if len(res.Suppressions) != 0 {
 		t.Errorf("fsdiscipline fixture expects no suppressions, got %d", len(res.Suppressions))
 	}
-	if len(res.Diagnostics) != 3 {
-		t.Errorf("fsdiscipline fixture expects 3 findings, got %d", len(res.Diagnostics))
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("fsdiscipline fixture expects 4 findings, got %d", len(res.Diagnostics))
 	}
 }

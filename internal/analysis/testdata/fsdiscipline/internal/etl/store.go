@@ -32,3 +32,10 @@ func (s *Store) Sidestep(name string, data []byte) error {
 	}
 	return os.Rename(name+".tmp", name) // want "direct os\.Rename bypasses the injectable etl\.FS"
 }
+
+// Probe checks existence around the FS; metadata calls are covered
+// too — a direct Stat dodges injected not-exist faults.
+func (s *Store) Probe(name string) bool {
+	_, err := os.Stat(name) // want "direct os\.Stat bypasses the injectable etl\.FS"
+	return err == nil
+}

@@ -81,6 +81,7 @@ func (a *aggregates) observe(height int64, t chain.Txn) {
 // AddsPerDay returns a copy of just the Fig 5 rollup — O(days),
 // without the per-hotspot maps the full Aggregates copy carries.
 func (s *Store) AddsPerDay() map[int64]int64 {
+	s.ensureAgg()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[int64]int64, len(s.agg.AddsPerDay))
@@ -92,6 +93,7 @@ func (s *Store) AddsPerDay() map[int64]int64 {
 
 // Aggregates returns a deep copy of the materialized rollups.
 func (s *Store) Aggregates() Aggregates {
+	s.ensureAgg()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := Aggregates{

@@ -1,0 +1,91 @@
+package etl
+
+// Ledger checkpointing. ReplayLedger on a v1 store replayed every
+// stored block — O(chain) on every restart. v2 persists a checksummed
+// snapshot of the replayed ledger (chain.Ledger.Snapshot) at the
+// sealed boundary, so the next replay decodes the snapshot and applies
+// only the blocks past it: O(tail), not O(chain).
+//
+// The checkpoint is advisory: any damage — bad magic, bad frame, a
+// snapshot that fails to decode, a height beyond the store's tip —
+// falls back to a full replay and is reported through Health's
+// CheckpointNote, never an error. A checkpoint is only ever written
+// when the replay saw a complete, healthy store (no gaps, no failed
+// segment loads), so resuming from one can never bake in missing
+// blocks.
+
+import (
+	"errors"
+	"fmt"
+
+	"peoplesnet/internal/wire"
+)
+
+const (
+	ckptMagic        = "PNETLCK1"
+	ckptCodecVersion = 1
+	ckptFileName     = "ledger.ckpt"
+)
+
+// encodeCheckpoint serializes a checkpoint: the height the snapshot
+// covers (every block at or below it is folded in) and the snapshot
+// itself, in one checksummed frame.
+func encodeCheckpoint(height int64, snapshot []byte) []byte {
+	var w wire.Writer
+	w.U8(ckptCodecVersion)
+	w.Varint(height)
+	w.Bytes(snapshot)
+	return appendFrame([]byte(ckptMagic), w.Buf)
+}
+
+// decodeCheckpoint parses a checkpoint file. The returned snapshot
+// aliases data. It never panics on arbitrary input
+// (FuzzDecodeCheckpoint) — any damage is an error, which the caller
+// treats as "replay everything".
+func decodeCheckpoint(data []byte) (int64, []byte, error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, errors.New("bad checkpoint magic")
+	}
+	payload, rest, err := readFrame(data[len(ckptMagic):])
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint frame: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%d trailing bytes after checkpoint frame", len(rest))
+	}
+	r := wire.NewReader(payload)
+	if v := r.U8(); r.Err() == nil && v != ckptCodecVersion {
+		return 0, nil, fmt.Errorf("unknown checkpoint version %d", v)
+	}
+	height := r.Varint()
+	snapshot := r.Bytes()
+	if r.Err() != nil {
+		return 0, nil, r.Err()
+	}
+	if r.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("%d trailing bytes in checkpoint payload", r.Remaining())
+	}
+	if height < 0 {
+		return 0, nil, fmt.Errorf("negative checkpoint height %d", height)
+	}
+	return height, snapshot, nil
+}
+
+// readCheckpoint loads the store's checkpoint. A missing file is
+// (-1, nil, nil): no checkpoint, not an error.
+func (d *durable) readCheckpoint() (int64, []byte, error) {
+	data, err := d.fs.ReadFile(join(d.dir, ckptFileName))
+	if err != nil {
+		if IsNotExist(err) {
+			return -1, nil, nil
+		}
+		return 0, nil, err
+	}
+	return decodeCheckpoint(data)
+}
+
+// writeCheckpoint atomically publishes a checkpoint; a crash mid-write
+// leaves the previous one (or none) intact.
+func (d *durable) writeCheckpoint(height int64, snapshot []byte) error {
+	return writeFileAtomic(d.fs, join(d.dir, ckptFileName), encodeCheckpoint(height, snapshot))
+}

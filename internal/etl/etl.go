@@ -29,6 +29,7 @@
 package etl
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -78,7 +79,11 @@ type Store struct {
 	pendingTxns int64
 	first, tip  int64 // block heights; -1 while empty
 	agg         *aggregates
-	lastAppend  time.Time
+	// aggPending counts sealed segments whose aggregate contribution
+	// is not yet folded into agg. A lazy Open owes one fold per stub;
+	// ensureAgg settles the debt before any aggregate is read.
+	aggPending int
+	lastAppend time.Time
 	// dur is the persistence state; nil for a memory-only store.
 	dur *durable
 }
@@ -109,6 +114,52 @@ func (s *Store) SetLedger(l *chain.Ledger) {
 	s.mu.Unlock()
 }
 
+// ensureAgg folds every outstanding sealed-segment contribution into
+// the live aggregates. Aggregate reads call it first, so a lazily
+// opened store materializes on the first aggregate query rather than
+// at Open; the common case (nothing pending) is one RLock.
+func (s *Store) ensureAgg() {
+	s.mu.RLock()
+	pending := s.aggPending
+	sealed := s.sealed
+	s.mu.RUnlock()
+	if pending == 0 {
+		return
+	}
+	// Load outside the lock — loads do file I/O and take no store
+	// locks — then fold under it. aggFolded makes the fold idempotent
+	// against a racing ensureAgg.
+	preloadSegments(sealed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.sealed {
+		if g.aggFolded {
+			continue
+		}
+		g.aggFolded = true
+		s.aggPending--
+		if g.broken() || g.agg == nil {
+			continue // nothing to fold; the range is a Gap
+		}
+		s.agg.addSegment(g, g.agg)
+	}
+	// Folds land in segment order but after any WAL-tail observations
+	// from Open, so the close-point series needs one re-sort.
+	sort.SliceStable(s.agg.Closes, func(i, j int) bool {
+		return s.agg.Closes[i].Height < s.agg.Closes[j].Height
+	})
+}
+
+// Preload forces every lazy segment to materialize and folds all
+// aggregate contributions — the v1 eager-open behavior, for callers
+// that prefer paying the full load up front (Repair does, so damage
+// anywhere is discovered in one pass).
+func (s *Store) Preload() {
+	sealed, _ := s.view()
+	preloadSegments(sealed)
+	s.ensureAgg()
+}
+
 // Stats summarizes the store's shape.
 type Stats struct {
 	Blocks        int64
@@ -122,14 +173,18 @@ type Stats struct {
 	TypePostings   int64
 	ActorPostings  int64
 	SharedPostings int64
+	// PostingsBytes is the encoded size of every posting list — the
+	// compressed index footprint benchmarks and bench-trend track.
+	PostingsBytes int64
 }
 
-// Stats reports the current store shape.
+// Stats reports the current store shape. It forces full
+// materialization (posting sizes live in segment indexes).
 func (s *Store) Stats() Stats {
+	s.Preload()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Segments:      len(s.sealed),
 		PendingBlocks: len(s.pending),
 		FirstHeight:   s.first,
 		TipHeight:     s.tip,
@@ -137,14 +192,23 @@ func (s *Store) Stats() Stats {
 		Blocks:        int64(len(s.pending)),
 	}
 	for _, g := range s.sealed {
+		if g.broken() {
+			continue
+		}
+		st.Segments++
 		st.Blocks += int64(len(g.blocks))
 		for _, ps := range g.byType {
-			st.TypePostings += int64(len(ps))
+			st.TypePostings += int64(ps.n)
+			st.PostingsBytes += int64(ps.bytes())
 		}
 		for _, ps := range g.byActor {
-			st.ActorPostings += int64(len(ps))
+			st.ActorPostings += int64(ps.n)
+			st.PostingsBytes += int64(ps.bytes())
 		}
-		st.SharedPostings += int64(len(g.shared))
+		if g.shared != nil {
+			st.SharedPostings += int64(g.shared.n)
+			st.PostingsBytes += int64(g.shared.bytes())
+		}
 	}
 	return st
 }
@@ -155,15 +219,26 @@ type SegmentInfo struct {
 	ToHeight   int64 `json:"to_height"`
 	Blocks     int   `json:"blocks"`
 	Txns       int   `json:"txns"`
+	// Loaded reports whether the segment is materialized in memory;
+	// false for stubs no query has touched yet. Blocks and Txns are 0
+	// until then (only the height range is known from the file name).
+	Loaded bool `json:"loaded"`
 }
 
-// Segments lists the sealed segments in height order.
+// Segments lists the sealed segments in height order. It never forces
+// a load — unloaded stubs report only their height range.
 func (s *Store) Segments() []SegmentInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]SegmentInfo, len(s.sealed))
 	for i, g := range s.sealed {
-		out[i] = SegmentInfo{FromHeight: g.from, ToHeight: g.to, Blocks: len(g.blocks), Txns: int(g.txns)}
+		info := SegmentInfo{FromHeight: g.from, ToHeight: g.to}
+		if g.loaded() && !g.broken() {
+			info.Blocks = len(g.blocks)
+			info.Txns = int(g.txns)
+			info.Loaded = true
+		}
+		out[i] = info
 	}
 	return out
 }

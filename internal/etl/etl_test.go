@@ -622,7 +622,7 @@ func TestScanParallelAutoPick(t *testing.T) {
 	}
 	// A conjunctive filter is bounded by its smaller dimension.
 	for i := range fat {
-		fat[i].byType = map[chain.TxnType][]pos{chain.TxnPayment: make([]pos, 1<<15)}
+		fat[i].byType = map[chain.TxnType]*postings{chain.TxnPayment: {n: 1 << 15}}
 	}
 	if w := autoWorkers(fat, Filter{Types: []chain.TxnType{chain.TxnPayment}, Actors: []string{"hs-0"}}); w != 1 {
 		t.Errorf("autoWorkers(fat, type∧actor) = %d, want 1", w)

@@ -6,6 +6,7 @@ package etl
 //	seg-<from>-<to>.idx   index sidecar: posting lists + the segment's
 //	                      contribution to the materialized aggregates
 //	wal.log               write-ahead log holding the unsealed tail
+//	ledger.ckpt           replayed-ledger checkpoint (checkpoint.go)
 //	quarantine/           corrupt files moved aside by recovery
 //
 // Every file is a magic string followed by checksummed frames:
@@ -26,6 +27,12 @@ package etl
 // Recovery therefore handles every intermediate state: a segment with
 // no sidecar rebuilds the sidecar from its blocks; a WAL still holding
 // blocks that a segment file also covers dedupes them by height.
+//
+// Sidecar versions: v1 stored posting lists as absolute uvarint pairs;
+// v2 stores them delta+varint-compressed (postings.go). A v1 sidecar
+// is upgraded in place — rebuilt from its (unchanged, still-v1-format)
+// segment blocks and republished as v2 — the first time its segment
+// loads. Segment files and the WAL are unversioned by this change.
 
 import (
 	"encoding/binary"
@@ -34,6 +41,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"peoplesnet/internal/chain"
@@ -45,8 +53,9 @@ const (
 	segMagic = "PNETLSG1"
 	idxMagic = "PNETLIX1"
 
-	segCodecVersion = 1
-	idxCodecVersion = 1
+	segCodecVersion       = 1
+	idxCodecVersion       = 2
+	idxLegacyCodecVersion = 1
 
 	walFileName = "wal.log"
 	tmpSuffix   = ".tmp"
@@ -75,6 +84,10 @@ var (
 	errFrameTorn    = errors.New("torn frame")
 	errFrameCorrupt = errors.New("corrupt frame")
 )
+
+// errLegacySidecar marks a structurally sound v1 sidecar: not damage,
+// but a format the store upgrades in place by rebuilding from blocks.
+var errLegacySidecar = errors.New("legacy v1 sidecar")
 
 // appendFrame appends one checksummed frame holding payload to dst.
 func appendFrame(dst, payload []byte) []byte {
@@ -128,8 +141,9 @@ func idxFileName(segName string) string {
 }
 
 // parseSegFileName extracts the height range a segment file claims to
-// cover. The range in the name is what recovery reports as the gap
-// when the file's contents are unreadable.
+// cover. Lazy open trusts the name for the stub's range (contents are
+// verified against it on first load), and the range in the name is
+// what recovery reports as the gap when the contents are unreadable.
 func parseSegFileName(name string) (from, to int64, ok bool) {
 	var f, t uint64
 	if _, err := fmt.Sscanf(name, "seg-%016x-%016x.seg", &f, &t); err != nil {
@@ -143,21 +157,119 @@ func parseSegFileName(name string) (from, to int64, ok bool) {
 
 // --- durable state --------------------------------------------------------
 
-// durable is the store's persistence state, guarded by the store's mu.
-// persisted counts the prefix of s.sealed already published as segment
-// files; segments past it are durable only through the WAL until a
-// retry succeeds.
+// durable is the store's persistence state. persisted and the wal are
+// guarded by the store's mu (only ingest and recovery touch them); the
+// health/recovery fields are guarded by hmu, a leaf lock, because lazy
+// segment loads mutate them from reader goroutines that hold no store
+// lock. Lock order: s.mu (if held at all) before hmu; nothing is
+// called while holding hmu.
 type durable struct {
 	fs  FS
 	dir string
 	wal *wal
+	// indexRewards mirrors Config.IndexRewardEntries so lazy loads,
+	// which run without the store in hand, rebuild sidecars under the
+	// right policy. Immutable after Open.
+	indexRewards bool
 
-	persisted       int
-	persistErr      error // last failed disk sync; retried on the next append
-	quarantined     int
-	sidecarsRebuilt int
-	walRecovery     string // note from Open: torn/corrupt WAL classification
-	gaps            []Gap
+	// persisted counts the prefix of s.sealed already published as
+	// segment files; segments past it are durable only through the WAL
+	// until a retry succeeds. Lazy stubs are always inside the
+	// persisted prefix — they exist because their files do.
+	persisted int
+
+	hmu              sync.Mutex
+	persistErr       error  // guarded by hmu; last failed disk sync, retried on the next append
+	quarantined      int    // guarded by hmu
+	sidecarsRebuilt  int    // guarded by hmu; damaged/missing sidecars rebuilt from blocks
+	sidecarsUpgraded int    // guarded by hmu; intact v1 sidecars republished as v2
+	walRecovery      string // guarded by hmu; note from Open: torn/corrupt WAL classification
+	gaps             []Gap  // guarded by hmu
+	ckptHeight       int64  // guarded by hmu; ledger checkpoint height in use, -1 none
+	ckptNote         string // guarded by hmu; how the last ReplayLedger used the checkpoint
+}
+
+// setPersistErr records (or clears) the last persistence failure.
+func (d *durable) setPersistErr(err error) {
+	d.hmu.Lock()
+	d.persistErr = err
+	d.hmu.Unlock()
+}
+
+// persistFailure returns the last recorded persistence failure.
+func (d *durable) persistFailure() error {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return d.persistErr
+}
+
+// noteQuarantine records one quarantined segment and its lost range.
+func (d *durable) noteQuarantine(gap Gap, cause error) {
+	d.hmu.Lock()
+	d.quarantined++
+	d.gaps = insertGap(d.gaps, gap)
+	d.persistErr = cause
+	d.hmu.Unlock()
+}
+
+// noteGap records a lost range not tied to a quarantined file (the
+// corrupt-WAL open-ended gap).
+func (d *durable) noteGap(gap Gap) {
+	d.hmu.Lock()
+	d.gaps = insertGap(d.gaps, gap)
+	d.hmu.Unlock()
+}
+
+// insertGap keeps the gap list sorted by From, so concurrent lazy
+// loads discovering damage in any order report the same Gaps.
+func insertGap(gaps []Gap, g Gap) []Gap {
+	i := sort.Search(len(gaps), func(i int) bool { return gaps[i].From > g.From })
+	gaps = append(gaps, Gap{})
+	copy(gaps[i+1:], gaps[i:])
+	gaps[i] = g
+	return gaps
+}
+
+// noteSidecarRebuild counts a sidecar reconstruction; upgraded
+// distinguishes an intact legacy sidecar from a damaged one.
+func (d *durable) noteSidecarRebuild(upgraded bool) {
+	d.hmu.Lock()
+	if upgraded {
+		d.sidecarsUpgraded++
+	} else {
+		d.sidecarsRebuilt++
+	}
+	d.hmu.Unlock()
+}
+
+// setWALRecovery records Open's WAL damage classification.
+func (d *durable) setWALRecovery(note string) {
+	d.hmu.Lock()
+	d.walRecovery = note
+	d.hmu.Unlock()
+}
+
+// setCheckpoint records the ledger checkpoint state ReplayLedger used
+// or wrote.
+func (d *durable) setCheckpoint(height int64, note string) {
+	d.hmu.Lock()
+	d.ckptHeight = height
+	d.ckptNote = note
+	d.hmu.Unlock()
+}
+
+// gapList returns a copy of the recorded gaps.
+func (d *durable) gapList() []Gap {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return append([]Gap(nil), d.gaps...)
+}
+
+// replaceGaps swaps the recorded gap set (Repair's remainder).
+func (d *durable) replaceGaps(gaps []Gap) {
+	d.hmu.Lock()
+	d.gaps = gaps
+	d.hmu.Unlock()
 }
 
 // Gap is a height range the store lost to corruption and cannot serve.
@@ -170,54 +282,84 @@ type Gap struct {
 
 // Health is a snapshot of the store's durability state.
 type Health struct {
-	Durable         bool      `json:"durable"`
-	Dir             string    `json:"dir,omitempty"`
-	Segments        int       `json:"segments"`
-	PendingBlocks   int       `json:"pending_blocks"`
-	WALDepth        int       `json:"wal_depth"`
-	WALBytes        int64     `json:"wal_bytes"`
-	Quarantined     int       `json:"quarantined"`
-	SidecarsRebuilt int       `json:"sidecars_rebuilt"`
-	Gaps            []Gap     `json:"gaps,omitempty"`
-	LastAppend      time.Time `json:"last_append,omitzero"`
-	LastError       string    `json:"last_error,omitempty"`
-	WALRecovery     string    `json:"wal_recovery,omitempty"`
+	Durable       bool   `json:"durable"`
+	Dir           string `json:"dir,omitempty"`
+	Segments      int    `json:"segments"`
+	PendingBlocks int    `json:"pending_blocks"`
+	// SegmentsLoaded counts segments materialized in memory; a lazily
+	// opened store starts at 0 and climbs as queries touch segments.
+	SegmentsLoaded   int       `json:"segments_loaded"`
+	WALDepth         int       `json:"wal_depth"`
+	WALBytes         int64     `json:"wal_bytes"`
+	Quarantined      int       `json:"quarantined"`
+	SidecarsRebuilt  int       `json:"sidecars_rebuilt"`
+	SidecarsUpgraded int       `json:"sidecars_upgraded,omitempty"`
+	Gaps             []Gap     `json:"gaps,omitempty"`
+	LastAppend       time.Time `json:"last_append,omitzero"`
+	LastError        string    `json:"last_error,omitempty"`
+	WALRecovery      string    `json:"wal_recovery,omitempty"`
+	// CheckpointHeight is the ledger checkpoint height the last
+	// ReplayLedger used or wrote (-1: none); CheckpointNote says how.
+	CheckpointHeight int64  `json:"checkpoint_height"`
+	CheckpointNote   string `json:"checkpoint_note,omitempty"`
 }
 
 // Health reports the store's durability state. For a memory-only store
-// it carries just the shape counters.
+// it carries just the shape counters. Broken segments — stubs whose
+// lazy load failed — are excluded from Segments, matching the eager
+// quarantine accounting: their ranges are in Gaps.
 func (s *Store) Health() Health {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := Health{
-		Segments:      len(s.sealed),
-		PendingBlocks: len(s.pending),
-		LastAppend:    s.lastAppend,
+		PendingBlocks:    len(s.pending),
+		LastAppend:       s.lastAppend,
+		CheckpointHeight: -1,
+	}
+	for _, g := range s.sealed {
+		if g.broken() {
+			continue
+		}
+		h.Segments++
+		if g.loaded() {
+			h.SegmentsLoaded++
+		}
 	}
 	if d := s.dur; d != nil {
 		h.Durable = true
 		h.Dir = d.dir
 		h.WALDepth = d.wal.depth
 		h.WALBytes = d.wal.size
-		h.Quarantined = d.quarantined
-		h.SidecarsRebuilt = d.sidecarsRebuilt
-		h.Gaps = append([]Gap(nil), d.gaps...)
-		h.WALRecovery = d.walRecovery
-		if d.persistErr != nil {
-			h.LastError = d.persistErr.Error()
-		}
+		d.fillHealth(&h)
 	}
 	return h
+}
+
+// fillHealth copies the hmu-guarded durability fields into h.
+func (d *durable) fillHealth(h *Health) {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	h.Quarantined = d.quarantined
+	h.SidecarsRebuilt = d.sidecarsRebuilt
+	h.SidecarsUpgraded = d.sidecarsUpgraded
+	h.Gaps = append([]Gap(nil), d.gaps...)
+	h.WALRecovery = d.walRecovery
+	h.CheckpointHeight = d.ckptHeight
+	h.CheckpointNote = d.ckptNote
+	if d.persistErr != nil {
+		h.LastError = d.persistErr.Error()
+	}
 }
 
 // Gaps returns the height ranges lost to corruption, if any.
 func (s *Store) Gaps() []Gap {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.dur == nil {
+	d := s.dur
+	s.mu.RUnlock()
+	if d == nil {
 		return nil
 	}
-	return append([]Gap(nil), s.dur.gaps...)
+	return d.gapList()
 }
 
 // --- atomic file publish --------------------------------------------------
@@ -323,7 +465,7 @@ func decodeSegFile(data []byte, wantFrom, wantTo int64) ([]*chain.Block, error) 
 // --- index sidecars -------------------------------------------------------
 
 // segAgg is one segment's contribution to the store-wide aggregates.
-// Persisting it in the sidecar lets Open merge per-segment sums
+// Persisting it in the sidecar lets a load merge per-segment sums
 // instead of re-observing every transaction — most of the cold-start
 // win over re-indexing. (Mix and the txn count are not duplicated
 // here: the segment's own mix is the same numbers.)
@@ -378,43 +520,39 @@ func (a *aggregates) addSegment(g *segment, c *segAgg) {
 	a.TotalPackets += c.totalPackets
 }
 
-func encodePostings(w *wire.Writer, ps []pos, withType bool) {
-	w.Uvarint(uint64(len(ps)))
-	for _, p := range ps {
-		w.Uvarint(uint64(p.blk))
-		w.Uvarint(uint64(p.txn))
-		if withType {
-			w.U8(uint8(p.tt))
-		}
+// encodePostings writes a compressed posting list: its entry count,
+// then the delta+varint buffer as an opaque blob. The in-memory and
+// on-disk representations are the same bytes.
+func encodePostings(w *wire.Writer, p *postings) {
+	if p == nil {
+		w.Uvarint(0)
+		w.Bytes(nil)
+		return
 	}
+	w.Uvarint(uint64(p.n))
+	w.Bytes(p.buf)
 }
 
-// decodePostings reads a posting list, bounds-checking every position
-// against the segment's blocks so a stale or damaged sidecar can never
-// index out of range. tt != 0 fixes the type (byType lists key it).
-func decodePostings(r *wire.Reader, blocks []*chain.Block, tt chain.TxnType) []pos {
-	n := r.Count(2)
-	if r.Err() != nil || n == 0 {
+// decodePostings reads a compressed posting list and validates it once
+// against the segment's blocks — entry count, monotonic order, bounds,
+// and type bytes all checked here so scans can decode without checks.
+// The returned buffer aliases the sidecar's bytes (zero copy). A bad
+// list fails the Reader; the caller falls back to rebuilding.
+func decodePostings(r *wire.Reader, blocks []*chain.Block, typed bool, tt chain.TxnType) *postings {
+	n := r.Count(1)
+	buf := r.Bytes()
+	if r.Err() != nil {
 		return nil
 	}
-	ps := make([]pos, 0, n)
-	for i := 0; i < n; i++ {
-		blk := r.Uvarint()
-		txn := r.Uvarint()
-		ptt := tt
-		if tt == 0 {
-			ptt = chain.TxnType(r.U8())
-		}
-		if r.Err() != nil {
-			return nil
-		}
-		if blk >= uint64(len(blocks)) || txn >= uint64(len(blocks[blk].Txns)) {
-			r.Fail(fmt.Errorf("posting (%d,%d) out of bounds", blk, txn))
-			return nil
-		}
-		ps = append(ps, pos{blk: int32(blk), txn: int32(txn), tt: ptt})
+	p := &postings{n: n, typed: typed, buf: buf}
+	if err := p.validate(blocks, tt); err != nil {
+		r.Fail(err)
+		return nil
 	}
-	return ps
+	if n == 0 {
+		return nil
+	}
+	return p
 }
 
 // encodeIdxFile serializes a segment's sidecar: indexes plus aggregate
@@ -449,7 +587,7 @@ func encodeIdxFile(g *segment, c *segAgg, indexRewards bool) []byte {
 	w.Uvarint(uint64(len(typeKeys)))
 	for _, tt := range typeKeys {
 		w.U8(uint8(tt))
-		encodePostings(&w, g.byType[chain.TxnType(tt)], false)
+		encodePostings(&w, g.byType[chain.TxnType(tt)])
 	}
 
 	actors := make([]string, 0, len(g.byActor))
@@ -460,10 +598,10 @@ func encodeIdxFile(g *segment, c *segAgg, indexRewards bool) []byte {
 	w.Uvarint(uint64(len(actors)))
 	for _, a := range actors {
 		w.Str(a)
-		encodePostings(&w, g.byActor[a], true)
+		encodePostings(&w, g.byActor[a])
 	}
 
-	encodePostings(&w, g.shared, true)
+	encodePostings(&w, g.shared)
 
 	days := make([]int64, 0, len(c.addsPerDay))
 	for d := range c.addsPerDay {
@@ -504,9 +642,10 @@ func writeStrCounts(w *wire.Writer, m map[string]int64) {
 
 // decodeIdxFile reconstructs a segment's indexes and aggregate
 // contribution from its sidecar. blocks are the already-verified
-// segment blocks; every posting is bounds-checked against them. An
+// segment blocks; every posting list is validated against them. An
 // error here never quarantines anything — the caller falls back to
-// rebuilding the sidecar from the blocks.
+// rebuilding the sidecar from the blocks (errLegacySidecar marks the
+// intact-v1 upgrade case specifically).
 func decodeIdxFile(data []byte, blocks []*chain.Block, wantRewards bool) (*segment, *segAgg, error) {
 	if len(data) < len(idxMagic) || string(data[:len(idxMagic)]) != idxMagic {
 		return nil, nil, errors.New("bad sidecar magic")
@@ -520,6 +659,9 @@ func decodeIdxFile(data []byte, blocks []*chain.Block, wantRewards bool) (*segme
 	}
 	r := wire.NewReader(payload)
 	if v := r.U8(); r.Err() == nil && v != idxCodecVersion {
+		if v == idxLegacyCodecVersion {
+			return nil, nil, errLegacySidecar
+		}
 		return nil, nil, fmt.Errorf("unknown sidecar version %d", v)
 	}
 	if rewards := r.Bool(); r.Err() == nil && rewards != wantRewards {
@@ -530,8 +672,8 @@ func decodeIdxFile(data []byte, blocks []*chain.Block, wantRewards bool) (*segme
 	g := &segment{
 		blocks:  blocks,
 		mix:     make(map[chain.TxnType]int64),
-		byType:  make(map[chain.TxnType][]pos),
-		byActor: make(map[string][]pos),
+		byType:  make(map[chain.TxnType]*postings),
+		byActor: make(map[string]*postings),
 	}
 	g.from = r.Varint()
 	g.to = r.Varint()
@@ -549,17 +691,20 @@ func decodeIdxFile(data []byte, blocks []*chain.Block, wantRewards bool) (*segme
 	}
 	for i, n := 0, r.Count(2); i < n && r.Err() == nil; i++ {
 		tt := chain.TxnType(r.U8())
-		if ps := decodePostings(r, blocks, tt); len(ps) > 0 {
+		if ps := decodePostings(r, blocks, false, tt); ps != nil {
 			g.byType[tt] = ps
 		}
 	}
 	for i, n := 0, r.Count(2); i < n && r.Err() == nil; i++ {
 		a := r.Str()
-		if ps := decodePostings(r, blocks, 0); len(ps) > 0 {
+		if ps := decodePostings(r, blocks, true, 0); ps != nil {
 			g.byActor[a] = ps
 		}
 	}
-	g.shared = decodePostings(r, blocks, 0)
+	g.shared = decodePostings(r, blocks, true, 0)
+	if g.shared == nil {
+		g.shared = &postings{typed: true}
+	}
 
 	c := &segAgg{
 		addsPerDay:          make(map[int64]int64),
@@ -614,7 +759,7 @@ func (s *Store) syncDiskLocked() error {
 	if err := d.wal.reset(s.pending); err != nil {
 		return &PersistError{Op: "wal reset", Err: err}
 	}
-	d.persistErr = nil
+	d.setPersistErr(nil)
 	return nil
 }
 
@@ -634,19 +779,19 @@ func (d *durable) writeSegment(g *segment, indexRewards bool) error {
 // and the same block may be retried.
 func (s *Store) durAppendLocked(b *chain.Block) error {
 	d := s.dur
-	if d.persistErr != nil || d.wal.dirty {
+	if d.persistFailure() != nil || d.wal.dirty {
 		// A previous failure left the disk behind memory. Converge
 		// first — the WAL rebuild below re-logs the full backlog
 		// (unpersisted sealed segments plus pending), so nothing
 		// already accepted can be lost by the retry.
 		if err := s.syncDiskLocked(); err != nil {
-			d.persistErr = err
+			d.setPersistErr(err)
 			return err
 		}
 	}
 	if err := d.wal.append(b); err != nil {
 		perr := &PersistError{Op: "wal append", Err: err}
-		d.persistErr = perr
+		d.setPersistErr(perr)
 		return perr
 	}
 	return nil
@@ -658,6 +803,6 @@ func (s *Store) durAppendLocked(b *chain.Block) error {
 // without failing this one.
 func (s *Store) durSealLocked() {
 	if err := s.syncDiskLocked(); err != nil {
-		s.dur.persistErr = err
+		s.dur.setPersistErr(err)
 	}
 }

@@ -1,0 +1,235 @@
+package etl
+
+// Compressed posting lists. v1 stored postings as []pos — 12 bytes per
+// entry in memory and two absolute uvarints on disk. At paper scale
+// the byActor lists dominate store overhead (ROADMAP "Storage engine
+// v2"), so v2 keeps every list delta+varint-encoded end to end: one
+// byte buffer per list, identical in memory and in the sidecar, with
+// scans decoding lazily through an iterator.
+//
+// Encoding, per posting (sorted by (blk, txn), no duplicates):
+//
+//	uvarint(blk - prevBlk)
+//	uvarint(txn - prevTxn)  if the block delta is 0 (same block)
+//	uvarint(txn)            otherwise (txn index restarts per block)
+//	u8(type)                only on "typed" lists (byActor, shared);
+//	                        byType lists fix the type by their map key
+//
+// The encoder starts from (0, 0), so the common first posting (0, 0)
+// costs two bytes. Sorted input makes every delta non-negative; dense
+// lists (types that appear in every block) approach ~2 bytes/posting
+// against 12 for []pos.
+//
+// Trust boundary: postings built by buildSegment are correct by
+// construction; postings decoded from a sidecar pass validate() once
+// at load, so iteration never re-checks bounds.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"peoplesnet/internal/chain"
+)
+
+// postings is one compressed posting list. typed lists carry a
+// per-posting transaction type byte; untyped lists (byType) get their
+// type from the map key at iteration.
+type postings struct {
+	n     int
+	typed bool
+	buf   []byte
+
+	lastBlk, lastTxn int32 // encoder state
+}
+
+// add appends a posting. Positions must arrive sorted by (blk, txn)
+// with no duplicates — buildSegment's iteration order.
+func (p *postings) add(blk, txn int32, tt chain.TxnType) {
+	dblk := uint64(blk - p.lastBlk)
+	p.buf = binary.AppendUvarint(p.buf, dblk)
+	if dblk == 0 {
+		p.buf = binary.AppendUvarint(p.buf, uint64(txn-p.lastTxn))
+	} else {
+		p.buf = binary.AppendUvarint(p.buf, uint64(txn))
+	}
+	if p.typed {
+		p.buf = append(p.buf, byte(tt))
+	}
+	p.lastBlk, p.lastTxn = blk, txn
+	p.n++
+}
+
+// iter returns an iterator positioned before the first posting. For
+// untyped lists, fixed supplies the type every posting reports.
+func (p *postings) iter(fixed chain.TxnType) postIter {
+	return postIter{buf: p.buf, typed: p.typed, tt: fixed}
+}
+
+// bytes returns the encoded size of the list.
+func (p *postings) bytes() int { return len(p.buf) }
+
+// postIter decodes a postings buffer incrementally. The zero value is
+// an exhausted iterator.
+type postIter struct {
+	buf      []byte
+	off      int
+	blk, txn int32
+	typed    bool
+	tt       chain.TxnType // fixed type, or last decoded type byte
+}
+
+// next decodes the next posting. ok is false at the end of the list.
+// Buffers reaching next have been validated at build or load time, so
+// malformed tails terminate the iteration rather than panic.
+func (it *postIter) next() (pos, bool) { return it.nextMatch(0) }
+
+// nextMatch decodes postings until one whose type bit is set in mask,
+// or the end of the list. mask 0 means no type filter (every posting
+// returned). This loop is the per-posting cost of every indexed scan:
+// deltas are almost always single-byte varints (adjacent blocks,
+// adjacent txns), so the hot path reads one byte and falls back to the
+// full decoder only on a continuation bit, and skipped postings never
+// leave the loop — for a type-filtered scan over a busy actor that is
+// the difference between a function call per posting and one per
+// match.
+func (it *postIter) nextMatch(mask uint64) (pos, bool) {
+	buf, off := it.buf, it.off
+	blk, txn, tt := it.blk, it.txn, it.tt
+	for off < len(buf) {
+		var dblk, dtxn uint64
+		if c := buf[off]; c < 0x80 {
+			dblk = uint64(c)
+			off++
+		} else {
+			v, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				break
+			}
+			dblk, off = v, off+n
+		}
+		if off >= len(buf) {
+			break
+		}
+		if c := buf[off]; c < 0x80 {
+			dtxn = uint64(c)
+			off++
+		} else {
+			v, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				break
+			}
+			dtxn, off = v, off+n
+		}
+		if dblk == 0 {
+			txn += int32(dtxn)
+		} else {
+			blk += int32(dblk)
+			txn = int32(dtxn)
+		}
+		if it.typed {
+			if off >= len(buf) {
+				break
+			}
+			tt = chain.TxnType(buf[off])
+			off++
+		}
+		if mask == 0 || mask&(1<<tt) != 0 {
+			it.off, it.blk, it.txn, it.tt = off, blk, txn, tt
+			return pos{blk: blk, txn: txn, tt: tt}, true
+		}
+	}
+	it.off = len(buf)
+	return pos{}, false
+}
+
+// validate walks a decoded postings buffer once, checking that it
+// holds exactly p.n entries, strictly increasing in (blk, txn), every
+// position in bounds for blocks, and no trailing bytes — after which
+// iteration can trust the buffer completely. tt fixes the type untyped
+// lists must report; for typed lists each entry's type byte must match
+// the transaction it points at, so a damaged sidecar can never
+// misclassify a posting.
+func (p *postings) validate(blocks []*chain.Block, tt chain.TxnType) error {
+	it := p.iter(tt)
+	prev := pos{blk: -1, txn: -1}
+	count := 0
+	for {
+		start := it.off
+		q, ok := it.next()
+		if !ok {
+			if start != len(p.buf) {
+				return fmt.Errorf("postings: malformed entry at byte %d", start)
+			}
+			break
+		}
+		if q.blk < 0 || q.txn < 0 || !less(prev, q) {
+			return fmt.Errorf("postings: non-monotonic entry (%d,%d) after (%d,%d)", q.blk, q.txn, prev.blk, prev.txn)
+		}
+		if int(q.blk) >= len(blocks) || int(q.txn) >= len(blocks[q.blk].Txns) {
+			return fmt.Errorf("postings: entry (%d,%d) out of bounds", q.blk, q.txn)
+		}
+		if got := blocks[q.blk].Txns[q.txn].TxnType(); got != q.tt {
+			return fmt.Errorf("postings: entry (%d,%d) typed %v, txn is %v", q.blk, q.txn, q.tt, got)
+		}
+		prev = q
+		count++
+	}
+	if count != p.n {
+		return fmt.Errorf("postings: %d entries decoded, header claims %d", count, p.n)
+	}
+	return nil
+}
+
+// mergePostings iterates the union of sorted posting iterators in
+// chain order, skipping duplicate positions, until fn returns false.
+// It returns false if fn stopped early. mask, applied inside each
+// iterator, drops postings whose type bit is clear before they reach
+// the merge (0 disables it); duplicates carry the same type in every
+// list, so pre-merge filtering never breaks deduplication.
+func mergePostings(its []postIter, mask uint64, fn func(p pos) bool) bool {
+	switch len(its) {
+	case 0:
+		return true
+	case 1:
+		// Common case (single type or actor): no merge state at all.
+		it := its[0]
+		for {
+			p, ok := it.nextMatch(mask)
+			if !ok {
+				return true
+			}
+			if !fn(p) {
+				return false
+			}
+		}
+	}
+	heads := make([]pos, len(its))
+	live := make([]bool, len(its))
+	for i := range its {
+		heads[i], live[i] = its[i].nextMatch(mask)
+	}
+	last := pos{blk: -1, txn: -1}
+	for {
+		best := -1
+		for i := range its {
+			if !live[i] {
+				continue
+			}
+			if best < 0 || less(heads[i], heads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		p := heads[best]
+		heads[best], live[best] = its[best].nextMatch(mask)
+		if p == last {
+			continue
+		}
+		last = p
+		if !fn(p) {
+			return false
+		}
+	}
+}

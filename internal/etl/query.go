@@ -111,6 +111,10 @@ func (s *Store) ScanParallel(r Range, f Filter, workers int, fn func(height int6
 		}
 	}
 	if workers <= 0 {
+		// The auto pick reads index counters, which live in segment
+		// sidecars — materialize overlapping stubs first (in parallel;
+		// on a cold store these loads dominate the scan anyway).
+		preloadSegments(overlapping)
 		workers = autoWorkers(overlapping, f)
 		if workers <= 1 {
 			// Below the crossover the ordered sequential visit is
@@ -212,8 +216,12 @@ func autoWorkers(segs []*segment, f Filter) int {
 }
 
 // estimateMatched bounds how many of g's transactions the filter can
-// match. Conjunctive filters take the smaller dimension.
+// match. Conjunctive filters take the smaller dimension. Unloaded or
+// broken segments estimate zero — callers preload before estimating.
 func estimateMatched(g *segment, f Filter) int64 {
+	if !g.loaded() || g.broken() {
+		return 0
+	}
 	if f.empty() {
 		return g.txns
 	}
@@ -221,13 +229,20 @@ func estimateMatched(g *segment, f Filter) int64 {
 	if len(f.Types) > 0 {
 		byType = 0
 		for _, tt := range f.Types {
-			byType += int64(len(g.byType[tt]))
+			if ps := g.byType[tt]; ps != nil {
+				byType += int64(ps.n)
+			}
 		}
 	}
 	if len(f.Actors) > 0 {
-		byActor = int64(len(g.shared))
+		byActor = 0
+		if g.shared != nil {
+			byActor = int64(g.shared.n)
+		}
 		for _, a := range f.Actors {
-			byActor += int64(len(g.byActor[a]))
+			if ps := g.byActor[a]; ps != nil {
+				byActor += int64(ps.n)
+			}
 		}
 	}
 	switch {
@@ -240,10 +255,57 @@ func estimateMatched(g *segment, f Filter) int64 {
 	}
 }
 
+// preloadSegments materializes every unloaded stub in segs, fanning
+// the file loads out to a small pool. Loads are independent (each owns
+// its Once) and gap accounting is order-independent (insertGap), so
+// concurrent discovery is safe.
+func preloadSegments(segs []*segment) {
+	var stubs []*segment
+	for _, g := range segs {
+		if !g.loaded() {
+			stubs = append(stubs, g)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > scanParallelMaxWorkers {
+		workers = scanParallelMaxWorkers
+	}
+	if workers > len(stubs) {
+		workers = len(stubs)
+	}
+	if workers <= 1 {
+		for _, g := range stubs {
+			g.load()
+		}
+		return
+	}
+	jobs := make(chan *segment)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				g.load()
+			}
+		}()
+	}
+	for _, g := range stubs {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // scanSegment visits a sealed segment through its indexes. Returns
 // false if fn stopped the scan. types/mask are f.typeSet() and
-// f.typeMask(), computed once by the caller.
+// f.typeMask(), computed once by the caller. The first touch of a stub
+// materializes it here; a broken segment matches nothing (its range is
+// reported through Gaps).
 func scanSegment(g *segment, from, to int64, f Filter, types map[chain.TxnType]bool, mask uint64, fn func(int64, chain.Txn) bool) bool {
+	if !g.load() {
+		return true
+	}
 	whole := g.from >= from && g.to <= to
 	inRange := func(h int64) bool { return whole || (h >= from && h <= to) }
 
@@ -269,7 +331,7 @@ func scanSegment(g *segment, from, to int64, f Filter, types map[chain.TxnType]b
 	// emit resolves a matched posting. Only shared-list rewards still
 	// need the mention check — every other filter dimension has been
 	// decided on posting positions alone, without touching the block.
-	needMention := len(f.Actors) > 0 && len(g.shared) > 0
+	needMention := len(f.Actors) > 0 && g.shared.n > 0
 	emit := func(p pos) bool {
 		b := g.blocks[p.blk]
 		if !inRange(b.Height) {
@@ -282,42 +344,45 @@ func scanSegment(g *segment, from, to int64, f Filter, types map[chain.TxnType]b
 		return fn(b.Height, t)
 	}
 
+	// Iterator slices start in a stack buffer: scanSegment runs once
+	// per segment per query, and letting these appends hit the heap
+	// showed up as GC time in the indexed-scan benchmarks.
+	var itsBuf [4]postIter
+
 	if len(f.Actors) == 0 {
 		// Type postings are the answer; no per-posting checks needed.
-		var typeLists [][]pos
+		// byType lists are untyped — the map key fixes the type each
+		// iterator reports.
+		typeIts := itsBuf[:0]
 		for tt := range types {
-			if ps := g.byType[tt]; len(ps) > 0 {
-				typeLists = append(typeLists, ps)
+			if ps := g.byType[tt]; ps != nil && ps.n > 0 {
+				typeIts = append(typeIts, ps.iter(tt))
 			}
 		}
-		return mergePostings(typeLists, emit)
+		return mergePostings(typeIts, 0, emit)
 	}
 
-	var actorLists [][]pos
+	actorIts := itsBuf[:0]
 	for _, a := range f.Actors {
-		if ps := g.byActor[a]; len(ps) > 0 {
-			actorLists = append(actorLists, ps)
+		if ps := g.byActor[a]; ps != nil && ps.n > 0 {
+			actorIts = append(actorIts, ps.iter(0))
 		}
 	}
 	// Rewards parked on the shared list (fan-out suppressed) are
 	// merged in and filtered by inspecting their entries in emit.
-	if len(g.shared) > 0 && (types == nil || types[chain.TxnRewards]) {
-		actorLists = append(actorLists, g.shared)
+	if g.shared.n > 0 && (types == nil || types[chain.TxnRewards]) {
+		actorIts = append(actorIts, g.shared.iter(0))
 	}
 	switch {
 	case types == nil:
-		return mergePostings(actorLists, emit)
+		return mergePostings(actorIts, 0, emit)
 	case mask != 0:
 		// Both dimensions: postings carry their txn type, so the type
-		// conjunction is a one-AND reject without loading the block.
-		return mergePostings(actorLists, func(p pos) bool {
-			if mask&(1<<p.tt) == 0 {
-				return true
-			}
-			return emit(p)
-		})
+		// conjunction happens inside the iterators — rejected postings
+		// never load a block or cross a function call.
+		return mergePostings(actorIts, mask, emit)
 	default:
-		return mergePostings(actorLists, func(p pos) bool {
+		return mergePostings(actorIts, 0, func(p pos) bool {
 			if !types[p.tt] {
 				return true
 			}
@@ -360,10 +425,15 @@ func mentionsAny(t chain.Txn, actors []string) bool {
 // --- height ↔ time range index -------------------------------------------
 
 // TimeAt returns the timestamp of the first block at or after height.
+// Only the segment covering the height loads (plus successors while
+// broken segments are skipped).
 func (s *Store) TimeAt(height int64) (time.Time, bool) {
 	sealed, pending := s.view()
 	i := sort.Search(len(sealed), func(i int) bool { return sealed[i].to >= height })
-	if i < len(sealed) {
+	for ; i < len(sealed); i++ {
+		if !sealed[i].load() {
+			continue // broken: the next segment holds the next block
+		}
 		blks := sealed[i].blocks
 		j := sort.Search(len(blks), func(j int) bool { return blks[j].Height >= height })
 		if j < len(blks) {
@@ -378,18 +448,27 @@ func (s *Store) TimeAt(height int64) (time.Time, bool) {
 }
 
 // HeightAt returns the height of the last block with a timestamp at
-// or before t (-1 if the store starts later).
+// or before t (-1 if the store starts later). The binary search loads
+// the O(log segments) stubs it probes.
 func (s *Store) HeightAt(t time.Time) int64 {
 	sealed, pending := s.view()
 	best := int64(-1)
-	// Last segment that starts at or before t.
-	i := sort.Search(len(sealed), func(i int) bool { return sealed[i].fromTime.After(t) })
-	if i > 0 {
-		blks := sealed[i-1].blocks
-		j := sort.Search(len(blks), func(j int) bool { return blks[j].Timestamp.After(t) })
-		if j > 0 {
-			best = blks[j-1].Height
+	// Last segment that starts at or before t. A probe that fails to
+	// load sorts as "starts early" — it matches nothing below anyway.
+	i := sort.Search(len(sealed), func(i int) bool {
+		return sealed[i].load() && sealed[i].fromTime.After(t)
+	})
+	// Walk back past broken segments to the last one with blocks ≤ t.
+	for j := i - 1; j >= 0; j-- {
+		if !sealed[j].load() {
+			continue
 		}
+		blks := sealed[j].blocks
+		k := sort.Search(len(blks), func(k int) bool { return blks[k].Timestamp.After(t) })
+		if k > 0 {
+			best = blks[k-1].Height
+		}
+		break
 	}
 	j := sort.Search(len(pending), func(j int) bool { return pending[j].Timestamp.After(t) })
 	if j > 0 && pending[j-1].Height > best {
@@ -444,7 +523,10 @@ func (t *Tail) Close() {
 
 func (s *Store) blockAfterLocked(after int64) *chain.Block {
 	i := sort.Search(len(s.sealed), func(i int) bool { return s.sealed[i].to > after })
-	if i < len(s.sealed) {
+	for ; i < len(s.sealed); i++ {
+		if !s.sealed[i].load() {
+			continue // broken: a tail skips its range like a gap
+		}
 		blks := s.sealed[i].blocks
 		j := sort.Search(len(blks), func(j int) bool { return blks[j].Height > after })
 		if j < len(blks) {

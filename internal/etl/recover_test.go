@@ -316,8 +316,11 @@ func TestBitFlipMatrix(t *testing.T) {
 				}
 				s2 := openTest(t, dir, nil)
 				defer s2.Close()
-				health := s2.Health()
+				// Open is lazy: damage surfaces when a segment is first
+				// touched. The scan forces every load, so Health read
+				// after it reflects the whole store.
 				got := storeHashes(s2)
+				health := s2.Health()
 				inGap := func(h int64) bool {
 					for _, g := range health.Gaps {
 						if h >= g.From && (g.To < 0 || h <= g.To) {
@@ -413,6 +416,7 @@ func TestSidecarDamageRebuildsWithoutGap(t *testing.T) {
 	}
 	s2 := openTest(t, dir, nil)
 	defer s2.Close()
+	s2.Preload() // rebuilds happen at load time under the lazy open
 	h := s2.Health()
 	if h.SidecarsRebuilt != 1 || h.Quarantined != 0 || len(h.Gaps) != 0 {
 		t.Fatalf("sidecar damage mishandled: %+v", h)
@@ -422,6 +426,7 @@ func TestSidecarDamageRebuildsWithoutGap(t *testing.T) {
 	// The rebuild republishes the sidecar, so the next open is clean.
 	s3 := openTest(t, dir, nil)
 	defer s3.Close()
+	s3.Preload()
 	if h := s3.Health(); h.SidecarsRebuilt != 0 {
 		t.Errorf("rebuilt sidecar was not republished: %+v", h)
 	}

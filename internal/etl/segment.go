@@ -1,6 +1,8 @@
 package etl
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"peoplesnet/internal/chain"
@@ -9,27 +11,81 @@ import (
 // pos addresses one transaction inside a segment: block index, txn
 // index, plus the transaction's type so filters can reject a posting
 // without loading the block. Posting lists are sorted by (blk, txn),
-// which is chain order.
+// which is chain order; at rest they live delta+varint-compressed
+// (postings.go) and pos is the decoded currency scans consume.
 type pos struct {
 	blk, txn int32
 	tt       chain.TxnType
 }
 
-// segment is an immutable run of consecutive blocks plus its
-// secondary indexes. Once sealed nothing in it changes, so readers
-// never lock.
+// segment is an immutable run of consecutive blocks plus its secondary
+// indexes. Once sealed nothing in it changes, so readers never lock.
+//
+// A durable store opens lazily: Open creates one stub per segment file
+// (only from/to, parsed from the file name) and the first access
+// materializes the rest through load(). Built-in-memory segments
+// (seal, repair) have lazy == nil and are always materialized.
 type segment struct {
+	from, to int64 // block heights (inclusive); known without loading
+
+	// lazy is the on-demand load state; nil means the fields below are
+	// valid. After load() returns true they are valid and immutable.
+	lazy *lazyState
+
 	blocks           []*chain.Block
-	from, to         int64 // block heights (inclusive)
 	fromTime, toTime time.Time
 	txns             int64
 	mix              map[chain.TxnType]int64
-	byType           map[chain.TxnType][]pos
-	byActor          map[string][]pos
+	byType           map[chain.TxnType]*postings
+	byActor          map[string]*postings
 	// shared holds postings of transactions whose actor fan-out was
 	// suppressed (rewards when Config.IndexRewardEntries is false).
 	// Actor queries merge it in and filter by inspecting entries.
-	shared []pos
+	shared *postings
+	// agg is the segment's aggregate contribution, decoded from the
+	// sidecar (or rebuilt) at load; nil for in-memory segments, whose
+	// transactions were observed at append time.
+	agg *segAgg
+	// aggFolded marks the segment's contribution as merged into the
+	// store-wide aggregates. Guarded by the store's mu.
+	aggFolded bool
+}
+
+// lazyState tracks a stub segment's materialization.
+type lazyState struct {
+	d    *durable
+	name string // segment file name
+	once sync.Once
+	// done/failed are set (in that order) when the load completes;
+	// failed stubs stay in the segment list serving nothing until
+	// Repair sweeps them into gaps.
+	done   atomic.Bool
+	failed bool // valid once done is true
+}
+
+// load materializes a stub segment, returning whether its blocks and
+// indexes are usable. It is safe to call concurrently and from under
+// the store's mu (it never takes store locks); the winner does the
+// file I/O, everyone else waits on the Once.
+func (g *segment) load() bool {
+	if g.lazy == nil {
+		return true
+	}
+	g.lazy.once.Do(func() {
+		g.lazy.failed = !g.lazy.d.loadLazy(g)
+		g.lazy.done.Store(true)
+	})
+	return !g.lazy.failed
+}
+
+// loaded reports whether the segment is materialized (successfully or
+// not) without forcing a load.
+func (g *segment) loaded() bool { return g.lazy == nil || g.lazy.done.Load() }
+
+// broken reports whether a load was attempted and failed, without
+// forcing one.
+func (g *segment) broken() bool {
+	return g.lazy != nil && g.lazy.done.Load() && g.lazy.failed
 }
 
 func buildSegment(blocks []*chain.Block, indexRewards bool) *segment {
@@ -40,19 +96,25 @@ func buildSegment(blocks []*chain.Block, indexRewards bool) *segment {
 		fromTime: blocks[0].Timestamp,
 		toTime:   blocks[len(blocks)-1].Timestamp,
 		mix:      make(map[chain.TxnType]int64),
-		byType:   make(map[chain.TxnType][]pos),
-		byActor:  make(map[string][]pos),
+		byType:   make(map[chain.TxnType]*postings),
+		byActor:  make(map[string]*postings),
+		shared:   &postings{typed: true},
 	}
 	var seen []string // per-txn dedupe scratch
 	for bi, b := range blocks {
 		for ti, t := range b.Txns {
 			tt := t.TxnType()
-			p := pos{blk: int32(bi), txn: int32(ti), tt: tt}
+			bi32, ti32 := int32(bi), int32(ti)
 			g.txns++
 			g.mix[tt]++
-			g.byType[tt] = append(g.byType[tt], p)
+			tp := g.byType[tt]
+			if tp == nil {
+				tp = &postings{}
+				g.byType[tt] = tp
+			}
+			tp.add(bi32, ti32, tt)
 			if tt == chain.TxnRewards && !indexRewards {
-				g.shared = append(g.shared, p)
+				g.shared.add(bi32, ti32, tt)
 				continue
 			}
 			seen = seen[:0]
@@ -66,7 +128,12 @@ func buildSegment(blocks []*chain.Block, indexRewards bool) *segment {
 					}
 				}
 				seen = append(seen, a)
-				g.byActor[a] = append(g.byActor[a], p)
+				ap := g.byActor[a]
+				if ap == nil {
+					ap = &postings{typed: true}
+					g.byActor[a] = ap
+				}
+				ap.add(bi32, ti32, tt)
 			})
 		}
 	}
@@ -157,49 +224,6 @@ func mentionsActor(t chain.Txn, actor string) bool {
 		}
 	})
 	return found
-}
-
-// mergePostings iterates the union of sorted posting lists in chain
-// order, skipping duplicate positions, until fn returns false. It
-// returns false if fn stopped early.
-func mergePostings(lists [][]pos, fn func(p pos) bool) bool {
-	switch len(lists) {
-	case 0:
-		return true
-	case 1:
-		// Common case (single type or actor): no merge state at all.
-		for _, p := range lists[0] {
-			if !fn(p) {
-				return false
-			}
-		}
-		return true
-	}
-	idx := make([]int, len(lists))
-	last := pos{blk: -1, txn: -1}
-	for {
-		best := -1
-		for i, l := range lists {
-			if idx[i] >= len(l) {
-				continue
-			}
-			if best < 0 || less(l[idx[i]], lists[best][idx[best]]) {
-				best = i
-			}
-		}
-		if best < 0 {
-			return true
-		}
-		p := lists[best][idx[best]]
-		idx[best]++
-		if p == last {
-			continue
-		}
-		last = p
-		if !fn(p) {
-			return false
-		}
-	}
 }
 
 func less(a, b pos) bool {

@@ -20,14 +20,17 @@ func (s *Store) FirstHeight() int64 {
 
 // TxnCount returns the total ingested transactions.
 func (s *Store) TxnCount() int64 {
+	s.ensureAgg()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.agg.txnCount
 }
 
 // TxnMix returns transaction counts by type from the materialized
-// aggregate — O(types), not O(chain).
+// aggregate — O(types), not O(chain). On a lazily opened store the
+// first call folds outstanding segment contributions (ensureAgg).
 func (s *Store) TxnMix() map[chain.TxnType]int64 {
+	s.ensureAgg()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	mix := make(map[chain.TxnType]int64, len(s.agg.Mix))

@@ -1,0 +1,157 @@
+package fed
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"peoplesnet/internal/chain"
+)
+
+// defaultCacheSize is the entry cap when Options.CacheSize is zero.
+const defaultCacheSize = 256
+
+// resultCache is a small LRU of merged federated answers, keyed by
+// (query fingerprint, source tip). The tip is not part of the map key:
+// the cache holds entries for exactly one tip at a time and flushes
+// wholesale the moment it observes a newer one, so a tip advance
+// invalidates everything at once and stale answers can never be
+// served. Only complete results — no missing shards, no stale shards —
+// are admitted; a degraded answer should be recomputed, not replayed.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	tip     int64
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(size int) *resultCache {
+	return &resultCache{
+		cap:     size,
+		tip:     -1,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, size),
+	}
+}
+
+// get returns the cached result for key at tip, or nil. A tip newer
+// than the cache's flushes it first, so the lookup always misses
+// across a tip advance.
+func (c *resultCache) get(key string, tip int64) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncTipLocked(tip)
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put stores res for key at tip, evicting the least recently used
+// entry at capacity.
+func (c *resultCache) put(key string, tip int64, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncTipLocked(tip)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// syncTipLocked flushes every entry when the observed tip moves. A
+// lower tip than the cache's is treated the same way — the source
+// regressed (rebuild, test harness), and cached answers for the old
+// tip are equally void.
+func (c *resultCache) syncTipLocked(tip int64) {
+	if tip == c.tip {
+		return
+	}
+	c.tip = tip
+	c.order.Init()
+	c.entries = make(map[string]*list.Element, c.cap)
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Enabled: true,
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: c.order.Len(),
+		Cap:     c.cap,
+		Tip:     c.tip,
+	}
+}
+
+// CacheStats is an operational snapshot of the router's result cache,
+// surfaced on the explorer's /etl endpoint.
+type CacheStats struct {
+	Enabled bool  `json:"enabled"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Cap     int   `json:"cap"`
+	// Tip is the source tip the live entries were computed at; -1
+	// before the first lookup.
+	Tip int64 `json:"tip"`
+}
+
+// cacheKey fingerprints a query deterministically: two queries with
+// the same answer set produce the same key regardless of field
+// ordering inside the filter, and defaulted knobs (K, Limit) are
+// resolved so explicit and implicit defaults share an entry.
+func cacheKey(q Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k%d|r%d:%d", q.Kind, q.Range.From, q.Range.To)
+	if len(q.Filter.Types) > 0 {
+		types := make([]chain.TxnType, len(q.Filter.Types))
+		copy(types, q.Filter.Types)
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		b.WriteString("|t")
+		for _, tt := range types {
+			fmt.Fprintf(&b, ",%d", tt)
+		}
+	}
+	if len(q.Filter.Actors) > 0 {
+		actors := make([]string, len(q.Filter.Actors))
+		copy(actors, q.Filter.Actors)
+		sort.Strings(actors)
+		b.WriteString("|a")
+		for _, a := range actors {
+			fmt.Fprintf(&b, ",%q", a)
+		}
+	}
+	if q.HasRegion {
+		fmt.Fprintf(&b, "|g%d", q.Region)
+	}
+	switch q.Kind {
+	case KindTopActors:
+		fmt.Fprintf(&b, "|k%d", q.topK())
+	case KindTxns:
+		fmt.Fprintf(&b, "|c%s|l%d", q.Cursor, q.pageLimit())
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package fed
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"peoplesnet/internal/chain"
+	"peoplesnet/internal/etl"
+)
+
+// countingShard is a stubShard that counts fan-out arrivals, so tests
+// can prove a cache hit never reached the shards.
+type countingShard struct {
+	p     Partial
+	calls atomic.Int64
+}
+
+func (s *countingShard) Info() ShardInfo { return ShardInfo{ID: s.p.Shard, Tip: s.p.Tip} }
+
+func (s *countingShard) Query(context.Context, Query) (*Partial, error) {
+	s.calls.Add(1)
+	p := s.p
+	return &p, nil
+}
+
+// TestRouterResultCache: the second identical query at the same tip
+// is answered from the cache (no shard fan-out, Cached set), and a
+// tip advance invalidates every entry.
+func TestRouterResultCache(t *testing.T) {
+	tip := atomic.Int64{}
+	tip.Store(99)
+	a := &countingShard{p: Partial{Shard: 0, Tip: 99, Count: 10}}
+	b := &countingShard{p: Partial{Shard: 1, Tip: 99, Count: 3}}
+	part := ByHeight(2, 99)
+	rt := NewRouter(part, []Shard{a, b}, Options{}, tip.Load)
+
+	q := Query{Kind: KindCount, Range: etl.All()}
+	res, err := rt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("first query reported Cached")
+	}
+	if res.Count != 13 {
+		t.Fatalf("count %d, want 13", res.Count)
+	}
+	if got := a.calls.Load() + b.calls.Load(); got != 2 {
+		t.Fatalf("first query reached %d shards, want 2", got)
+	}
+
+	res2, err := rt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("second identical query at the same tip missed the cache")
+	}
+	if res2.Count != 13 || res2.Strategy != res.Strategy {
+		t.Fatalf("cached result diverged: %+v vs %+v", res2, res)
+	}
+	if got := a.calls.Load() + b.calls.Load(); got != 2 {
+		t.Fatalf("cache hit still fanned out (shard calls %d, want 2)", got)
+	}
+	st := rt.CacheStats()
+	if !st.Enabled || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want enabled with 1 hit / 1 miss / 1 entry", st)
+	}
+
+	// Tip advance: the same fingerprint must miss and refan.
+	tip.Store(100)
+	res3, err := rt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Cached {
+		t.Fatal("query after tip advance served a stale cached answer")
+	}
+	if got := a.calls.Load() + b.calls.Load(); got != 4 {
+		t.Fatalf("post-advance query reached %d shard calls, want 4", got)
+	}
+	if st := rt.CacheStats(); st.Misses != 2 || st.Tip != 100 {
+		t.Fatalf("cache stats after advance = %+v, want 2 misses at tip 100", st)
+	}
+}
+
+// TestRouterCacheSkipsDegraded: results with missing or stale shards
+// are never admitted, so a recovered shard is consulted next time.
+func TestRouterCacheSkipsDegraded(t *testing.T) {
+	part := ByHeight(2, 99)
+	fresh := &countingShard{p: Partial{Shard: 0, Tip: 99, Count: 10}}
+	lagged := &countingShard{p: Partial{Shard: 1, Tip: 40, Count: 3}}
+	rt := NewRouter(part, []Shard{fresh, lagged}, Options{LagBudget: 8}, func() int64 { return 99 })
+
+	q := Query{Kind: KindCount, Range: etl.All()}
+	res, err := rt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) == 0 {
+		t.Fatal("expected a stale shard in the setup result")
+	}
+	res, err = rt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("degraded (stale-shard) result was replayed from cache")
+	}
+	if st := rt.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cache holds %d entries, want 0 after degraded-only queries", st.Entries)
+	}
+}
+
+// TestRouterCacheDisabled: negative CacheSize turns the cache off, and
+// a router without a source-tip probe never engages it.
+func TestRouterCacheDisabled(t *testing.T) {
+	part := ByHeight(1, 99)
+	sh := &countingShard{p: Partial{Shard: 0, Tip: 99, Count: 5}}
+	rt := NewRouter(part, []Shard{sh}, Options{CacheSize: -1}, func() int64 { return 99 })
+	for i := 0; i < 2; i++ {
+		res, err := rt.Query(context.Background(), Query{Kind: KindCount, Range: etl.All()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("disabled cache served a hit")
+		}
+	}
+	if sh.calls.Load() != 2 {
+		t.Fatalf("disabled cache absorbed fan-out: %d shard calls, want 2", sh.calls.Load())
+	}
+	if st := rt.CacheStats(); st.Enabled {
+		t.Fatalf("CacheStats = %+v, want disabled", st)
+	}
+
+	noTip := NewRouter(part, []Shard{sh}, Options{}, nil)
+	if st := noTip.CacheStats(); st.Enabled {
+		t.Fatal("router without a source-tip probe enabled its cache")
+	}
+}
+
+// TestCacheKeyNormalization: filter field order and defaulted knobs do
+// not split entries, while semantically different queries never
+// collide.
+func TestCacheKeyNormalization(t *testing.T) {
+	base := Query{Kind: KindCount, Range: etl.All(),
+		Filter: etl.Filter{Types: []chain.TxnType{chain.TxnPayment, chain.TxnRewards}, Actors: []string{"b", "a"}}}
+	reordered := base
+	reordered.Filter = etl.Filter{Types: []chain.TxnType{chain.TxnRewards, chain.TxnPayment}, Actors: []string{"a", "b"}}
+	if cacheKey(base) != cacheKey(reordered) {
+		t.Fatalf("filter order split the key:\n%s\n%s", cacheKey(base), cacheKey(reordered))
+	}
+
+	if cacheKey(Query{Kind: KindTopActors, Range: etl.All()}) !=
+		cacheKey(Query{Kind: KindTopActors, Range: etl.All(), K: defaultTopK}) {
+		t.Fatal("explicit default K split the key")
+	}
+	if cacheKey(Query{Kind: KindTxns, Range: etl.All()}) !=
+		cacheKey(Query{Kind: KindTxns, Range: etl.All(), Limit: defaultPageLimit}) {
+		t.Fatal("explicit default Limit split the key")
+	}
+
+	distinct := []Query{
+		{Kind: KindCount, Range: etl.All()},
+		{Kind: KindMix, Range: etl.All()},
+		{Kind: KindCount, Range: etl.Range{From: 1, To: -1}},
+		{Kind: KindCount, Range: etl.All(), Filter: etl.Filter{Types: []chain.TxnType{chain.TxnPayment}}},
+		{Kind: KindCount, Range: etl.All(), Filter: etl.Filter{Actors: []string{"a"}}},
+		{Kind: KindCount, Range: etl.All(), HasRegion: true, Region: 0},
+		{Kind: KindCount, Range: etl.All(), HasRegion: true, Region: 1},
+		{Kind: KindTxns, Range: etl.All(), Cursor: Cursor{Height: 5, Seq: 1}},
+		{Kind: KindTxns, Range: etl.All(), Limit: 7},
+		{Kind: KindTopActors, Range: etl.All(), K: 3},
+	}
+	seen := map[string]int{}
+	for i, q := range distinct {
+		k := cacheKey(q)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("queries %d and %d collide on key %s", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestCacheLRUEviction: the oldest untouched entry leaves first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	r := &Result{Count: 1}
+	c.put("a", 9, r)
+	c.put("b", 9, r)
+	if c.get("a", 9) == nil { // refresh "a"; "b" is now oldest
+		t.Fatal("entry a missing before eviction")
+	}
+	c.put("c", 9, r)
+	if c.get("b", 9) != nil {
+		t.Fatal("LRU kept b, the least recently used entry")
+	}
+	if c.get("a", 9) == nil || c.get("c", 9) == nil {
+		t.Fatal("LRU evicted a survivor")
+	}
+	if st := c.stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 at capacity", st.Entries)
+	}
+}

@@ -215,6 +215,9 @@ type Result struct {
 	Missing []ShardID
 	Gaps    []etl.Gap
 	Elapsed time.Duration
+	// Cached reports the answer was replayed from the router's result
+	// cache rather than fanned out to shards.
+	Cached bool
 }
 
 // Precision is the routing precision of this query: the fraction of
@@ -241,6 +244,10 @@ type Options struct {
 	// LagBudget is how many blocks a shard's store may trail the
 	// source before its answers are flagged in Result.Stale.
 	LagBudget int64
+	// CacheSize caps the router's result cache (entries). 0 means the
+	// default (256); negative disables caching. The cache only engages
+	// when the router has a source-tip probe to key entries against.
+	CacheSize int
 }
 
 func (o Options) quorum() float64 {
@@ -248,4 +255,14 @@ func (o Options) quorum() float64 {
 		return 1
 	}
 	return o.Quorum
+}
+
+func (o Options) cacheSize() int {
+	if o.CacheSize < 0 {
+		return 0
+	}
+	if o.CacheSize == 0 {
+		return defaultCacheSize
+	}
+	return o.CacheSize
 }

@@ -20,6 +20,10 @@ type Router struct {
 	// sourceTip reports the producer's tip for lag accounting; nil
 	// falls back to the highest tip any answering shard reported.
 	sourceTip func() int64
+	// cache replays complete merged answers keyed by (query
+	// fingerprint, source tip); nil when disabled or when no sourceTip
+	// is available to key entries against.
+	cache *resultCache
 }
 
 // NewRouter builds a router over shards (indexed by ShardID, one per
@@ -28,7 +32,22 @@ func NewRouter(part Partition, shards []Shard, opts Options, sourceTip func() in
 	if len(shards) != part.NumShards() {
 		panic(fmt.Sprintf("fed: %d shards for a %d-shard partition", len(shards), part.NumShards()))
 	}
-	return &Router{part: part, shards: shards, opts: opts, sourceTip: sourceTip}
+	rt := &Router{part: part, shards: shards, opts: opts, sourceTip: sourceTip}
+	// The cache keys entries by source tip, so it needs a cheap tip
+	// probe; without one (sourceTip nil) it stays off.
+	if size := opts.cacheSize(); size > 0 && sourceTip != nil {
+		rt.cache = newResultCache(size)
+	}
+	return rt
+}
+
+// CacheStats reports the result cache's hit/miss counters; the zero
+// value (Enabled false) when the cache is disabled.
+func (rt *Router) CacheStats() CacheStats {
+	if rt.cache == nil {
+		return CacheStats{}
+	}
+	return rt.cache.stats()
 }
 
 // Plan selects the shards whose partition slice can contain answers:
@@ -61,6 +80,18 @@ func (rt *Router) Plan(q Query) []ShardID {
 // flagged in Result.Stale, never awaited.
 func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
 	start := time.Now()
+	var key string
+	if rt.cache != nil {
+		key = cacheKey(q)
+		if hit := rt.cache.get(key, rt.sourceTip()); hit != nil {
+			// Shallow copy so the caller's view carries its own Cached
+			// flag and Elapsed without touching the stored entry.
+			cp := *hit
+			cp.Cached = true
+			cp.Elapsed = time.Since(start)
+			return &cp, nil
+		}
+	}
 	planned := rt.Plan(q)
 	res := &Result{Planned: planned}
 
@@ -126,6 +157,15 @@ func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if rt.cache != nil && len(res.Missing) == 0 && len(res.Stale) == 0 {
+		// Only complete answers are cacheable: a result with gaps or
+		// stale shards should be recomputed next time, not replayed.
+		// Keyed at the tip observed during this query — if the source
+		// advanced mid-flight the entry lands under the fresh tip and
+		// the next lookup still matches.
+		cp := *res
+		rt.cache.put(key, srcTip, &cp)
+	}
 	return res, nil
 }
 

@@ -42,6 +42,13 @@ func (w *Writer) Strs(ss []string) {
 	}
 }
 
+// Bytes appends a length-prefixed byte slice. The ETL store's
+// compressed posting lists travel through it as opaque blobs.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
 // Reader consumes primitive values from a byte slice with a sticky
 // error: after the first failure every read returns a zero value, so
 // decode paths can defer a single error check.
@@ -129,6 +136,19 @@ func (r *Reader) Str() string {
 	s := string(r.buf[r.off : r.off+n])
 	r.off += n
 	return s
+}
+
+// Bytes reads a length-prefixed byte slice written by Writer.Bytes.
+// The returned slice aliases the Reader's underlying buffer — callers
+// that outlive the buffer must copy.
+func (r *Reader) Bytes() []byte {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
 }
 
 func (r *Reader) Strs() []string {

@@ -24,6 +24,8 @@ func TestPrimitiveRoundTrip(t *testing.T) {
 	w.Str("hs-α £ \x00\xff")
 	w.Strs(nil)
 	w.Strs([]string{"eui-1", "", "eui-2"})
+	w.Bytes(nil)
+	w.Bytes([]byte{0x00, 0xff, 0x7f})
 
 	r := NewReader(w.Buf)
 	if got := r.U8(); got != 0 {
@@ -63,6 +65,12 @@ func TestPrimitiveRoundTrip(t *testing.T) {
 	got := r.Strs()
 	if len(got) != 3 || got[0] != "eui-1" || got[1] != "" || got[2] != "eui-2" {
 		t.Errorf("Strs = %q", got)
+	}
+	if b := r.Bytes(); b != nil {
+		t.Errorf("Bytes = %v, want nil", b)
+	}
+	if b := r.Bytes(); len(b) != 3 || b[0] != 0x00 || b[1] != 0xff || b[2] != 0x7f {
+		t.Errorf("Bytes = %v", b)
 	}
 	if r.Err() != nil {
 		t.Fatalf("round trip errored: %v", r.Err())
@@ -116,7 +124,7 @@ func TestCountBoundsAllocation(t *testing.T) {
 
 // wireOps is the op vocabulary FuzzWireRoundTrip scripts over; each
 // op consumes a few script bytes for its value.
-const wireOps = 7
+const wireOps = 8
 
 // FuzzWireRoundTrip interprets the fuzz input as a script of typed
 // writes, encodes them with Writer, then reads them back in order:
@@ -182,6 +190,10 @@ func FuzzWireRoundTrip(f *testing.F) {
 					v.ss = append(v.ss, string(take(&pos, m)))
 				}
 				w.Strs(v.ss)
+			case 7:
+				n := int(le(take(&pos, 1))) % 32
+				v.s = string(take(&pos, n))
+				w.Bytes([]byte(v.s))
 			}
 			vals = append(vals, v)
 		}
@@ -223,6 +235,10 @@ func FuzzWireRoundTrip(f *testing.F) {
 						t.Fatalf("op %d: Strs[%d] = %q, want %q", i, j, got[j], v.ss[j])
 					}
 				}
+			case 7:
+				if got := r.Bytes(); string(got) != v.s {
+					t.Fatalf("op %d: Bytes = %q, want %q", i, got, v.s)
+				}
 			}
 			if r.Err() != nil {
 				t.Fatalf("op %d (%d): read errored on writer-produced bytes: %v", i, v.op, r.Err())
@@ -257,6 +273,8 @@ func FuzzReaderNoPanic(f *testing.F) {
 				r.Str()
 			case 6:
 				r.Strs()
+			case 7:
+				r.Bytes()
 			}
 		}
 		if r.Remaining() < 0 || r.Remaining() > len(data) {
