@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed store-bench fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke
+.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed bench-mttr store-bench fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -56,8 +56,8 @@ vet:
 	$(GO) vet ./...
 
 # Repo-invariant static analysis (internal/analysis): fsdiscipline,
-# determinism, txnexhaustive, closecheck. Also runs under
-# `go vet -vettool=bin/peoplesnetlint ./...`.
+# determinism, txnexhaustive, closecheck, mutexguard, tickerstop. Also
+# runs under `go vet -vettool=bin/peoplesnetlint ./...`.
 lint:
 	$(GO) build -o bin/peoplesnetlint ./cmd/peoplesnetlint
 	./bin/peoplesnetlint ./...
@@ -92,4 +92,19 @@ fuzz-smoke:
 fed-smoke:
 	$(GO) test -race -run TestFederationSmoke ./internal/fed/
 
-check: fmt vet lint build race recovery fuzz-smoke fed-smoke
+# Chaos smoke: the seeded fed-layer fault matrix under the race
+# detector — kill mid-tail, persist-path crash, torn WAL write, sealed
+# segment bit flip, stalled shard, producer disconnect — each against
+# supervised durable clusters; recovery must reconverge and answer the
+# full query corpus bit-identically to the raw-chain oracle. -short
+# skips the all-layouts kill sweep (the long tail; `make race` runs it).
+chaos-smoke:
+	$(GO) test -race -short -run 'TestFedChaos|TestDurableFollowerResume|TestSupervisor' ./internal/fed/
+
+# Follower MTTR: kill a durable supervised shard and measure
+# re-convergence, cold re-ingest vs checkpoint resume
+# (EXPERIMENTS.md "Follower MTTR" section).
+bench-mttr:
+	$(GO) run ./cmd/fedload -scale $${PEOPLESNET_BENCH_SCALE:-small} -mttr -trials 5
+
+check: fmt vet lint build race recovery fuzz-smoke fed-smoke chaos-smoke

@@ -10,8 +10,9 @@
 //	GET /coverage         Fig 12 model percentages (JSON)
 //	GET /report           plain-text measurement report
 //	GET /etl              ETL store shape: segments, postings, rollups,
-//	                      store health (WAL depth, quarantine, last append),
-//	                      plus per-shard federation health and lag
+//	                      store health (WAL depth, quarantine, ingest retries,
+//	                      last append), plus per-shard federation health, lag,
+//	                      and supervisor state (restarts, breaker)
 //	GET /txns             federated transaction search with cursor pagination
 //	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50
 //	                       &cursor=<h>-<seq>&region=<0..23>)
@@ -185,13 +186,17 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.cluster != nil {
 		part := s.cluster.Partition()
-		resp["federation"] = map[string]any{
+		federation := map[string]any{
 			"partition":    part.Name(),
 			"num_shards":   part.NumShards(),
 			"source_tip":   s.world.Chain.Height(),
 			"shards":       s.cluster.Shards(),
 			"result_cache": s.cluster.Router().CacheStats(),
 		}
+		if sup := s.cluster.Supervisor(); sup != nil {
+			federation["supervisor"] = sup.Status()
+		}
+		resp["federation"] = federation
 	}
 	writeJSON(w, resp)
 }
@@ -427,6 +432,10 @@ func buildCluster(c *chain.Chain, shards int, scheme string) (*fed.Cluster, erro
 		PerShardTimeout: 10 * time.Second,
 		LagBudget:       64,
 	})
+	// Self-healing: the supervisor restarts crashed or wedged shards
+	// with backoff and trips the per-shard breaker if one cannot come
+	// back; /etl's federation.supervisor block reports the state.
+	cluster.Supervise(fed.SupervisorOptions{})
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := cluster.WaitHeight(ctx, c.Height()); err != nil {

@@ -261,6 +261,11 @@ func TestETLFederationHealth(t *testing.T) {
 				Lag    *int64          `json:"lag_blocks"`
 				Health json.RawMessage `json:"health"`
 			} `json:"shards"`
+			Supervisor []struct {
+				Shard    int    `json:"shard"`
+				State    string `json:"state"`
+				Restarts int64  `json:"restarts"`
+			} `json:"supervisor"`
 		} `json:"federation"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -279,6 +284,14 @@ func TestETLFederationHealth(t *testing.T) {
 		}
 		if sh.Slice == "" || len(sh.Health) == 0 {
 			t.Fatalf("shard %d missing slice/health: %+v", sh.ID, sh)
+		}
+	}
+	if len(f.Supervisor) != 4 {
+		t.Fatalf("supervisor block has %d shards, want 4: %+v", len(f.Supervisor), f.Supervisor)
+	}
+	for _, sh := range f.Supervisor {
+		if sh.State != "running" || sh.Restarts != 0 {
+			t.Fatalf("healthy shard %d reports state %q with %d restarts", sh.Shard, sh.State, sh.Restarts)
 		}
 	}
 }

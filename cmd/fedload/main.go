@@ -16,9 +16,19 @@
 //
 //	go run ./cmd/fedload -scale paper -bench | go run ./cmd/benchjson -scale paper
 //
+// With -mttr the load sweep is replaced by the follower MTTR
+// experiment: for every cluster size, shard 0 is killed and the time
+// until the supervised cluster re-converges to the source tip is
+// measured — once with cold re-ingest (the restarted shard's durable
+// store is wiped, so it rebuilds from genesis through the fsynced WAL
+// path) and once with checkpoint-resume (the store reopens its sealed
+// segments and WAL tail and re-tails only what it missed). The table
+// in EXPERIMENTS.md §"Follower MTTR" is generated this way.
+//
 // Typical use:
 //
 //	go run ./cmd/fedload -scale small -shards 1,2,4 -queries 64
+//	go run ./cmd/fedload -scale small -shards 1,2,4,8 -mttr -bench
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,10 +61,12 @@ func main() {
 		verify      = flag.Int("verify", 8, "queries per class checked against the raw-chain reference (0 disables)")
 		bench       = flag.Bool("bench", false, "emit go-bench lines on stdout for cmd/benchjson")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-shard timeout")
+		mttr        = flag.Bool("mttr", false, "run the follower MTTR experiment (kill + measured re-convergence, cold vs resume) instead of the load sweep")
+		trials      = flag.Int("trials", 3, "kill/recover trials per MTTR cell (median reported)")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *seed, *shardsFlag, *partsFlag, *queries, *concurrency, *verify, *bench, *timeout); err != nil {
+	if err := run(*scale, *seed, *shardsFlag, *partsFlag, *queries, *concurrency, *verify, *bench, *timeout, *mttr, *trials); err != nil {
 		fmt.Fprintln(os.Stderr, "fedload:", err)
 		os.Exit(1)
 	}
@@ -63,7 +76,7 @@ func main() {
 // when -bench claims stdout for machine-readable lines.
 var out *os.File = os.Stdout
 
-func run(scale string, seed uint64, shardsFlag, partsFlag string, queries, concurrency, verify int, bench bool, timeout time.Duration) error {
+func run(scale string, seed uint64, shardsFlag, partsFlag string, queries, concurrency, verify int, bench bool, timeout time.Duration, mttr bool, trials int) error {
 	if bench {
 		out = os.Stderr
 	}
@@ -94,6 +107,9 @@ func run(scale string, seed uint64, shardsFlag, partsFlag string, queries, concu
 	shardCounts, err := parseInts(shardsFlag)
 	if err != nil {
 		return fmt.Errorf("-shards: %w", err)
+	}
+	if mttr {
+		return runMTTR(c, shardCounts, trials, bench)
 	}
 	schemes := strings.Split(partsFlag, ",")
 
@@ -171,6 +187,96 @@ func run(scale string, seed uint64, shardsFlag, partsFlag string, queries, concu
 		}
 	}
 	return nil
+}
+
+// runMTTR measures mean-time-to-recovery: a supervised durable
+// cluster is caught up to the tip, shard 0 is killed, and the clock
+// runs until WaitHeight sees every shard back at the tip. Two modes
+// per cluster size:
+//
+//   - cold: the ShardStore wipes the shard's directory at every
+//     (re)start, so recovery re-ingests the full chain through the
+//     fsync-per-append WAL path — the no-checkpoint baseline.
+//   - resume: the directory survives the crash; the restarted node
+//     reopens sealed segments plus the WAL tail and re-tails only the
+//     blocks it missed (none, for a static chain).
+//
+// The ratio between the two is the value of durable checkpoints.
+func runMTTR(c *chain.Chain, shardCounts []int, trials int, bench bool) error {
+	if trials < 1 {
+		trials = 1
+	}
+	tip := c.Height()
+	fmt.Fprintf(out, "\nfollower MTTR: kill shard 0, median of %d trials, supervised recovery to tip %d\n", trials, tip)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  shards\tcold(ms)\tresume(ms)\tspeedup")
+	for _, n := range shardCounts {
+		var med [2]time.Duration
+		for mi, mode := range []string{"cold", "resume"} {
+			base, err := os.MkdirTemp("", "fedload-mttr-")
+			if err != nil {
+				return err
+			}
+			d, err := measureMTTR(c, n, mode == "cold", base, trials)
+			os.RemoveAll(base)
+			if err != nil {
+				return fmt.Errorf("shards=%d mode=%s: %w", n, mode, err)
+			}
+			med[mi] = d
+			if bench {
+				fmt.Printf("BenchmarkFedMTTR/shards=%d/mode=%s-1 \t%d\t%d ns/op\n", n, mode, trials, d.Nanoseconds())
+			}
+		}
+		fmt.Fprintf(tw, "  %d\t%.1f\t%.1f\t%.1fx\n",
+			n, float64(med[0].Microseconds())/1000, float64(med[1].Microseconds())/1000,
+			float64(med[0])/float64(med[1]))
+	}
+	return tw.Flush()
+}
+
+// measureMTTR runs the kill/recover trials for one (shard count, mode)
+// cell and returns the median recovery time.
+func measureMTTR(c *chain.Chain, shards int, cold bool, base string, trials int) (time.Duration, error) {
+	tip := c.Height()
+	part := fed.ByHeight(shards, tip)
+	cluster := fed.FollowChain(c, part, fed.Options{
+		PerShardTimeout: time.Minute,
+		CacheSize:       -1, // recovery must be recomputed, never cache-served
+		ShardStore: func(id fed.ShardID) (string, etl.Config) {
+			dir := filepath.Join(base, fmt.Sprintf("shard-%d", id))
+			if cold {
+				// The no-checkpoint baseline: every incarnation starts
+				// from an empty directory and re-ingests from genesis.
+				os.RemoveAll(dir)
+			}
+			return dir, etl.Config{}
+		},
+	})
+	defer cluster.Close()
+	cluster.Supervise(fed.SupervisorOptions{
+		ProbeInterval: 2 * time.Millisecond,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    10 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cluster.WaitHeight(ctx, tip); err != nil {
+		return 0, fmt.Errorf("initial catch-up: %w", err)
+	}
+
+	durations := make([]time.Duration, 0, trials)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		if err := cluster.Kill(0); err != nil {
+			return 0, err
+		}
+		if err := cluster.WaitHeight(ctx, tip); err != nil {
+			return 0, fmt.Errorf("trial %d recovery: %w", t, err)
+		}
+		durations = append(durations, time.Since(start))
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	return durations[len(durations)/2], nil
 }
 
 // class is one query family of the load mix; its queries are

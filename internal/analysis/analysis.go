@@ -19,6 +19,10 @@
 //     in functions that acquire that guard (or are *Locked by
 //     convention), so the follower-shard concurrency code cannot grow
 //     lock-free accessors.
+//   - tickerstop: time.Tickers and time.Timers created in a function
+//     are stopped in that function unless the handle escapes, so the
+//     supervisor and follower loops cannot leak wakeups across restart
+//     cycles.
 //
 // cmd/peoplesnetlint is the driver; it runs standalone over the module
 // or under `go vet -vettool=`.
@@ -89,7 +93,7 @@ type Suppression struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck, MutexGuard}
+	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck, MutexGuard, TickerStop}
 }
 
 // ByName resolves a comma-separated analyzer selection.

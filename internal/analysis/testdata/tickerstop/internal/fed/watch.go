@@ -1,0 +1,114 @@
+// Package fed exercises the tickerstop shapes: long-lived watch loops
+// that create tickers and timers and do — or do not — stop them.
+package fed
+
+import "time"
+
+// watcher holds a ticker whose lifetime outlives any one function; the
+// struct's owner stops it.
+type watcher struct {
+	probe *time.Ticker
+	stop  chan struct{}
+}
+
+// newWatcher stores the ticker through a field: the handle escapes the
+// constructor, so no diagnostic here — Close is the owner.
+func newWatcher(interval time.Duration) *watcher {
+	w := &watcher{stop: make(chan struct{})}
+	w.probe = time.NewTicker(interval)
+	return w
+}
+
+// Close stops the escaped ticker.
+func (w *watcher) Close() {
+	w.probe.Stop()
+	close(w.stop)
+}
+
+// supervise is the disciplined loop: deferred Stop on both handles.
+func supervise(interval time.Duration, done chan struct{}) {
+	probe := time.NewTicker(interval)
+	defer probe.Stop()
+	grace := time.NewTimer(10 * interval)
+	defer grace.Stop()
+	for {
+		select {
+		case <-probe.C:
+		case <-grace.C:
+			return
+		case <-done:
+			return
+		}
+	}
+}
+
+// leakyLoop never stops its ticker: flagged.
+func leakyLoop(interval time.Duration, done chan struct{}) {
+	probe := time.NewTicker(interval) // want "ticker probe is never stopped in leakyLoop"
+	for {
+		select {
+		case <-probe.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// leakyTimer arms a timer and walks away on the early return: flagged —
+// Stop must be reachable on every exit path, and here there is none.
+func leakyTimer(d time.Duration, ready chan struct{}) bool {
+	deadline := time.NewTimer(d) // want "timer deadline is never stopped in leakyTimer"
+	select {
+	case <-ready:
+		return true
+	case <-deadline.C:
+		return false
+	}
+}
+
+// inlineTick uses time.Tick, whose ticker is unstoppable by
+// construction: always flagged.
+func inlineTick(done chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second): // want "time\.Tick's ticker can never be stopped"
+		case <-done:
+			return
+		}
+	}
+}
+
+// discarded drops the handle on the floor: flagged.
+func discarded(interval time.Duration) {
+	_ = time.NewTicker(interval) // want "result of time\.NewTicker is discarded without a Stop"
+}
+
+// handOff returns the ticker: the caller owns the Stop, no diagnostic.
+func handOff(interval time.Duration) *time.Ticker {
+	return time.NewTicker(interval)
+}
+
+// delegated passes the fresh timer to a helper that stops it: the
+// handle escapes into the call, no diagnostic.
+func delegated(d time.Duration) {
+	drain(time.NewTimer(d))
+}
+
+func drain(t *time.Timer) {
+	defer t.Stop()
+	<-t.C
+}
+
+// stoppedLater stops the ticker on the shutdown path rather than with
+// a defer; a Stop anywhere in the body counts.
+func stoppedLater(interval time.Duration, done chan struct{}) {
+	probe := time.NewTicker(interval)
+	for {
+		select {
+		case <-probe.C:
+		case <-done:
+			probe.Stop()
+			return
+		}
+	}
+}

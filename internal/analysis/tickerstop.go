@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TickerStop enforces the repo's long-lived-goroutine hygiene for
+// time.Ticker and time.Timer: a ticker or timer created inside a
+// function must be visibly stopped in that function — a Stop call on
+// the variable anywhere in the body counts, and a deferred Stop is the
+// idiomatic shape. The supervisor, follower, and probe loops all run
+// for the life of the process; a ticker they forget to stop is a
+// goroutine and channel that outlive every restart cycle.
+//
+// The check keys on ownership, not data flow: a ticker whose handle
+// escapes the function (returned, passed to a call, stored in a
+// struct field) is someone else's to stop and is not flagged. A
+// handle that stays local — or is discarded outright, including the
+// irredeemable time.Tick — must be stopped here.
+var TickerStop = &Analyzer{
+	Name: "tickerstop",
+	Doc: "require time.Tickers and time.Timers created in a function to be\n" +
+		"stopped in that function (a deferred Stop counts) unless the handle\n" +
+		"escapes; an unstopped ticker in a long-lived goroutine leaks its\n" +
+		"channel and wakeups for the life of the process. time.Tick is\n" +
+		"always flagged: its ticker can never be stopped.",
+	Run: runTickerStop,
+}
+
+// timeConstructor reports whether call is time.NewTicker, time.NewTimer,
+// or time.Tick, resolved through the type info so a local package named
+// `time` cannot spoof it.
+func timeConstructor(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "NewTicker", "NewTimer", "Tick":
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func runTickerStop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkTickerStop(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkTickerStop(pass *Pass, fn *ast.FuncDecl) {
+	// Pass 1 over the body: names the function calls Stop on
+	// (`t.Stop()`, `defer s.probe.Stop()` — both record the final
+	// component), and the constructor calls whose result visibly
+	// escapes or is bound to a name.
+	stopped := make(map[string]bool)
+	// binding records how each constructor call's result is consumed:
+	// the local variable name, or "" for escape (return, call
+	// argument, struct field) — escapes are exempt.
+	type use struct {
+		name    string // local identifier the result is bound to
+		escapes bool
+	}
+	uses := make(map[*ast.CallExpr]use)
+
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if _, isCtor := timeConstructor(pass, call); !isCtor {
+			return
+		}
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			// The blank identifier is a discard, not a binding; leave
+			// the call unbound so it is flagged below.
+			if x.Name != "_" {
+				uses[call] = use{name: x.Name}
+			}
+		default:
+			// Stored through a selector or index: the handle escapes
+			// the function's frame; whoever owns the struct stops it.
+			uses[call] = use{escapes: true}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				switch x := sel.X.(type) {
+				case *ast.Ident:
+					stopped[x.Name] = true
+				case *ast.SelectorExpr:
+					stopped[x.Sel.Name] = true
+				}
+			}
+			// A constructor passed as an argument escapes into the
+			// callee.
+			for _, arg := range node.Args {
+				if call, ok := arg.(*ast.CallExpr); ok {
+					if _, isCtor := timeConstructor(pass, call); isCtor {
+						uses[call] = use{escapes: true}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i < len(node.Lhs) {
+					bind(node.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range node.Values {
+				if i < len(node.Names) {
+					bind(node.Names[i], rhs)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range node.Results {
+				if call, ok := r.(*ast.CallExpr); ok {
+					if _, isCtor := timeConstructor(pass, call); isCtor {
+						uses[call] = use{escapes: true}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: judge every constructor call.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ctor, isCtor := timeConstructor(pass, call)
+		if !isCtor {
+			return true
+		}
+		if ctor == "Tick" {
+			pass.Reportf(call.Pos(),
+				"time.Tick's ticker can never be stopped; use time.NewTicker with a deferred Stop")
+			return true
+		}
+		u, bound := uses[call]
+		switch {
+		case u.escapes:
+			// Ownership transferred; the receiver stops it.
+		case !bound:
+			// Inline or discarded: `<-time.NewTicker(d).C`, `_ = ...`.
+			pass.Reportf(call.Pos(),
+				"result of time.%s is discarded without a Stop; the %s outlives %s",
+				ctor, tickerKind(ctor), fn.Name.Name)
+		case !stopped[u.name]:
+			pass.Reportf(call.Pos(),
+				"%s %s is never stopped in %s; stop it on every exit path (a deferred Stop counts)",
+				tickerKind(ctor), u.name, fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func tickerKind(ctor string) string {
+	if ctor == "NewTimer" {
+		return "timer"
+	}
+	return "ticker"
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestTickerStopFixture(t *testing.T) {
+	res := runFixture(t, "tickerstop", TickerStop,
+		"peoplesnet/internal/fed",
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("tickerstop fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("tickerstop fixture expects 4 findings (leaky ticker, leaky timer, time.Tick, discard), got %d", len(res.Diagnostics))
+	}
+}

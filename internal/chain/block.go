@@ -231,6 +231,20 @@ func (c *Chain) BlocksFrom(after int64) []*Block {
 	return append([]*Block(nil), c.blocks[i:]...)
 }
 
+// BlockAt returns the block at exactly height, or nil if the chain
+// holds none. Shard followers use it to re-derive per-block metadata
+// (original intra-block transaction indexes) after a restart, so it is
+// a binary search, not a suffix copy.
+func (c *Chain) BlockAt(height int64) *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i := sort.Search(len(c.blocks), func(i int) bool { return c.blocks[i].Height >= height })
+	if i < len(c.blocks) && c.blocks[i].Height == height {
+		return c.blocks[i]
+	}
+	return nil
+}
+
 // snapshot returns the current block slice header; the backing array
 // is append-only and blocks are immutable, so iterating the snapshot
 // without the lock is safe.

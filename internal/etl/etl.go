@@ -31,6 +31,7 @@ package etl
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peoplesnet/internal/chain"
@@ -86,7 +87,20 @@ type Store struct {
 	lastAppend time.Time
 	// dur is the persistence state; nil for a memory-only store.
 	dur *durable
+	// ingestRetries counts transient persist faults retried by whatever
+	// feeds this store (Follower, fed nodes) — cumulative, never reset,
+	// surfaced in Health so operators can see a flapping disk before it
+	// becomes a crash.
+	ingestRetries atomic.Int64
 }
+
+// NoteIngestRetry counts one retried transient persist fault against
+// the store's health surface. Callers that retry *PersistError (the
+// chain Follower, federation shard nodes) call it once per retry.
+func (s *Store) NoteIngestRetry() { s.ingestRetries.Add(1) }
+
+// IngestRetries reports the cumulative retried-fault count.
+func (s *Store) IngestRetries() int64 { return s.ingestRetries.Load() }
 
 // New returns an empty store.
 func New(cfg Config) *Store {

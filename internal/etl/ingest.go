@@ -93,12 +93,13 @@ func (s *Store) BulkLoad(c *chain.Chain) error {
 // catches up from the store's tip, then ingests each appended block
 // as the chain signals it.
 type Follower struct {
-	s      *Store
-	c      *chain.Chain
-	cancel func()
-	done   chan struct{}
-	stop   chan struct{} // closed by Close; interrupts retry backoff
-	once   sync.Once
+	s       *Store
+	c       *chain.Chain
+	cancel  func()
+	done    chan struct{}
+	stop    chan struct{} // closed by Close; interrupts retry backoff
+	backoff *Backoff
+	once    sync.Once
 
 	mu  sync.Mutex
 	err error
@@ -107,7 +108,9 @@ type Follower struct {
 // Transient persistence faults back off and retry rather than killing
 // a live tail; the source chain retains every block, so a retried
 // ingest loses nothing. Anything else (a stale height, a closed
-// store) is permanent.
+// store) is permanent. Delays are jittered and capped (Backoff) so a
+// cluster of followers tripping over the same fault does not retry in
+// lock-step.
 const (
 	followerMaxRetries = 8
 	followerBaseDelay  = time.Millisecond
@@ -120,7 +123,8 @@ const (
 func (s *Store) FollowChain(c *chain.Chain) *Follower {
 	s.SetLedger(c.Ledger())
 	notify, cancel := c.Subscribe()
-	f := &Follower{s: s, c: c, cancel: cancel, done: make(chan struct{}), stop: make(chan struct{})}
+	f := &Follower{s: s, c: c, cancel: cancel, done: make(chan struct{}), stop: make(chan struct{}),
+		backoff: NewBackoff(followerBaseDelay, followerMaxDelay)}
 	go f.run(notify)
 	return f
 }
@@ -152,22 +156,20 @@ func (f *Follower) drain() bool {
 }
 
 // ingest appends one block, retrying transient persistence faults
-// with exponential backoff. Close interrupts the backoff.
+// with capped, jittered exponential backoff. Close interrupts the
+// backoff; each retry is counted on the store's health surface.
 func (f *Follower) ingest(b *chain.Block) error {
-	delay := followerBaseDelay
 	for attempt := 0; ; attempt++ {
 		err := f.s.Append(b)
 		var pe *PersistError
 		if err == nil || !errors.As(err, &pe) || attempt >= followerMaxRetries {
 			return err
 		}
+		f.s.NoteIngestRetry()
 		select {
 		case <-f.stop:
 			return err
-		case <-time.After(delay):
-		}
-		if delay *= 2; delay > followerMaxDelay {
-			delay = followerMaxDelay
+		case <-time.After(f.backoff.Delay(attempt)):
 		}
 	}
 }

@@ -288,16 +288,20 @@ type Health struct {
 	PendingBlocks int    `json:"pending_blocks"`
 	// SegmentsLoaded counts segments materialized in memory; a lazily
 	// opened store starts at 0 and climbs as queries touch segments.
-	SegmentsLoaded   int       `json:"segments_loaded"`
-	WALDepth         int       `json:"wal_depth"`
-	WALBytes         int64     `json:"wal_bytes"`
-	Quarantined      int       `json:"quarantined"`
-	SidecarsRebuilt  int       `json:"sidecars_rebuilt"`
-	SidecarsUpgraded int       `json:"sidecars_upgraded,omitempty"`
-	Gaps             []Gap     `json:"gaps,omitempty"`
-	LastAppend       time.Time `json:"last_append,omitzero"`
-	LastError        string    `json:"last_error,omitempty"`
-	WALRecovery      string    `json:"wal_recovery,omitempty"`
+	SegmentsLoaded   int   `json:"segments_loaded"`
+	WALDepth         int   `json:"wal_depth"`
+	WALBytes         int64 `json:"wal_bytes"`
+	Quarantined      int   `json:"quarantined"`
+	SidecarsRebuilt  int   `json:"sidecars_rebuilt"`
+	SidecarsUpgraded int   `json:"sidecars_upgraded,omitempty"`
+	Gaps             []Gap `json:"gaps,omitempty"`
+	// IngestRetries counts transient persist faults the store's feeder
+	// retried (cumulative); a climbing value on a "healthy" store is a
+	// flapping disk.
+	IngestRetries int64     `json:"ingest_retries,omitempty"`
+	LastAppend    time.Time `json:"last_append,omitzero"`
+	LastError     string    `json:"last_error,omitempty"`
+	WALRecovery   string    `json:"wal_recovery,omitempty"`
 	// CheckpointHeight is the ledger checkpoint height the last
 	// ReplayLedger used or wrote (-1: none); CheckpointNote says how.
 	CheckpointHeight int64  `json:"checkpoint_height"`
@@ -313,6 +317,7 @@ func (s *Store) Health() Health {
 	defer s.mu.RUnlock()
 	h := Health{
 		PendingBlocks:    len(s.pending),
+		IngestRetries:    s.ingestRetries.Load(),
 		LastAppend:       s.lastAppend,
 		CheckpointHeight: -1,
 	}

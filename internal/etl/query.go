@@ -521,6 +521,20 @@ func (t *Tail) Close() {
 	t.s.grown.Broadcast()
 }
 
+// BlockAt returns the stored block at exactly height, or nil. Only the
+// segment covering the height is materialized (lazy stubs stay cold),
+// so a resumed follower can re-derive per-block metadata without
+// paying for a full load.
+func (s *Store) BlockAt(height int64) *chain.Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := s.blockAfterLocked(height - 1)
+	if b == nil || b.Height != height {
+		return nil
+	}
+	return b
+}
+
 func (s *Store) blockAfterLocked(after int64) *chain.Block {
 	i := sort.Search(len(s.sealed), func(i int) bool { return s.sealed[i].to > after })
 	for ; i < len(s.sealed); i++ {

@@ -8,7 +8,10 @@
 // crash site. TornWrite makes the failing write persist a
 // seeded-random prefix of its buffer first, the way a real crash tears
 // a partially flushed write. CorruptFile flips a seeded-random bit in
-// a file at rest, modeling silent media damage.
+// a file at rest, modeling silent media damage. Heal and FailAt extend
+// a single FS into a multi-crash schedule: arm a fault, let the
+// process under test die on it, Heal at the supervised restart, arm
+// the next — the disk survives the process, as in real node churn.
 //
 // The wrapper is deterministic: the same seed and workload produce
 // the same faults, so every matrix failure reproduces exactly.
@@ -63,6 +66,29 @@ func (f *FS) Ops() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.ops
+}
+
+// Heal clears any tripped fault and disarms the plan: every later op
+// succeeds. Supervised-restart tests call it when the "process" comes
+// back up — the crash killed the process, not the disk — so the same
+// FS (and op counter) carries across incarnations.
+func (f *FS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failed = false
+	f.cfg.FailAtOp = 0
+}
+
+// FailAt re-arms the plan at runtime: the k-th mutating op from now
+// fails (k is 1-based, relative to the current counter). Crash and
+// TornWrite keep their configured values. Together with Heal this
+// turns one FS into a full crash schedule — arm, crash, heal at
+// restart, arm again — without rebuilding stores on a fresh wrapper.
+func (f *FS) FailAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failed = false
+	f.cfg.FailAtOp = f.ops + k
 }
 
 // step counts one mutating op and reports whether it must fail.

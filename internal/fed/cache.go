@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"peoplesnet/internal/chain"
 )
@@ -13,52 +14,94 @@ import (
 // defaultCacheSize is the entry cap when Options.CacheSize is zero.
 const defaultCacheSize = 256
 
-// resultCache is a small LRU of merged federated answers, keyed by
-// (query fingerprint, source tip). The tip is not part of the map key:
-// the cache holds entries for exactly one tip at a time and flushes
-// wholesale the moment it observes a newer one, so a tip advance
-// invalidates everything at once and stale answers can never be
-// served. Only complete results — no missing shards, no stale shards —
-// are admitted; a degraded answer should be recomputed, not replayed.
+// resultCache is a small LRU of merged federated answers keyed by a
+// query fingerprint, each entry stamped with the source tip it was
+// computed at and its store time.
+//
+// A fresh hit requires the entry's tip to equal the current source
+// tip (and the entry to be within TTL when one is set), so stale
+// answers are never served as fresh. With TTL zero the cache keeps
+// the original semantics exactly: it holds entries for one tip at a
+// time and flushes wholesale the moment it observes a newer one. With
+// a positive TTL, entries from older tips survive (until evicted or
+// expired) to back the router's serve-stale-on-outage path: when
+// planned shards are down, a complete answer from an older tip beats
+// a gap, as long as it is within TTL and flagged ServedStale.
+//
+// Only complete results — no missing shards, no stale shards — are
+// admitted; a degraded answer should be recomputed, not replayed.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	tip     int64
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	cap       int
+	ttl       time.Duration
+	tip       int64
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	staleHits int64
 }
 
 type cacheEntry struct {
 	key string
+	tip int64 // source tip the result was computed at
+	at  time.Time
 	res *Result
 }
 
-func newResultCache(size int) *resultCache {
+func newResultCache(size int, ttl time.Duration) *resultCache {
 	return &resultCache{
 		cap:     size,
+		ttl:     ttl,
 		tip:     -1,
 		order:   list.New(),
 		entries: make(map[string]*list.Element, size),
 	}
 }
 
-// get returns the cached result for key at tip, or nil. A tip newer
-// than the cache's flushes it first, so the lookup always misses
-// across a tip advance.
+// get returns the cached result for key computed at exactly tip (the
+// fresh path), or nil.
 func (c *resultCache) get(key string, tip int64) *Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.syncTipLocked(tip)
+	c.observeTipLocked(tip)
+	if el, ok := c.entries[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		switch {
+		case c.expiredLocked(ce):
+			c.removeLocked(el)
+		case ce.tip == tip:
+			c.hits++
+			c.order.MoveToFront(el)
+			return ce.res
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// stale returns a complete cached result for key regardless of the
+// tip it was computed at, provided it is within TTL — the
+// serve-stale-on-outage path. Callers must flag the result
+// ServedStale. Returns the entry's tip so staleness can be reported.
+func (c *resultCache) stale(key string) (*Result, int64, bool) {
+	if c.ttl <= 0 {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
-		return nil
+		return nil, 0, false
 	}
-	c.hits++
+	ce := el.Value.(*cacheEntry)
+	if c.expiredLocked(ce) {
+		c.removeLocked(el)
+		return nil, 0, false
+	}
+	c.staleHits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res
+	return ce.res, ce.tip, true
 }
 
 // put stores res for key at tip, evicting the least recently used
@@ -66,43 +109,57 @@ func (c *resultCache) get(key string, tip int64) *Result {
 func (c *resultCache) put(key string, tip int64, res *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.syncTipLocked(tip)
+	c.observeTipLocked(tip)
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ce := el.Value.(*cacheEntry)
+		ce.res, ce.tip, ce.at = res, tip, time.Now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, tip: tip, at: time.Now(), res: res})
 	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.order.Back())
 	}
 }
 
-// syncTipLocked flushes every entry when the observed tip moves. A
-// lower tip than the cache's is treated the same way — the source
-// regressed (rebuild, test harness), and cached answers for the old
-// tip are equally void.
-func (c *resultCache) syncTipLocked(tip int64) {
+// observeTipLocked tracks the latest source tip. Without a TTL it
+// also flushes every entry when the tip moves — the original
+// single-tip semantics, where a tip advance (or regression: rebuild,
+// test harness) voids everything at once. With a TTL, entries carry
+// their own tip and age out individually, so older-tip entries stay
+// for the serve-stale path.
+func (c *resultCache) observeTipLocked(tip int64) {
 	if tip == c.tip {
 		return
 	}
 	c.tip = tip
-	c.order.Init()
-	c.entries = make(map[string]*list.Element, c.cap)
+	if c.ttl <= 0 {
+		c.order.Init()
+		c.entries = make(map[string]*list.Element, c.cap)
+	}
+}
+
+func (c *resultCache) expiredLocked(ce *cacheEntry) bool {
+	return c.ttl > 0 && time.Since(ce.at) > c.ttl
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
 }
 
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Enabled: true,
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Entries: c.order.Len(),
-		Cap:     c.cap,
-		Tip:     c.tip,
+		Enabled:   true,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		StaleHits: c.staleHits,
+		Entries:   c.order.Len(),
+		Cap:       c.cap,
+		TTL:       c.ttl,
+		Tip:       c.tip,
 	}
 }
 
@@ -112,10 +169,16 @@ type CacheStats struct {
 	Enabled bool  `json:"enabled"`
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
-	Cap     int   `json:"cap"`
-	// Tip is the source tip the live entries were computed at; -1
-	// before the first lookup.
+	// StaleHits counts answers served from an older tip during a shard
+	// outage (Result.ServedStale).
+	StaleHits int64 `json:"stale_hits,omitempty"`
+	Entries   int   `json:"entries"`
+	Cap       int   `json:"cap"`
+	// TTL is the per-entry lifetime; 0 means entries live until the
+	// source tip advances.
+	TTL time.Duration `json:"ttl_ns,omitempty"`
+	// Tip is the latest source tip the cache has observed; -1 before
+	// the first lookup.
 	Tip int64 `json:"tip"`
 }
 

@@ -2,8 +2,10 @@ package fed
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/etl"
@@ -184,9 +186,138 @@ func TestCacheKeyNormalization(t *testing.T) {
 	}
 }
 
+// flakyShard delegates until failed, then errors on every query —
+// the serve-stale outage model.
+type flakyShard struct {
+	inner Shard
+	fail  atomic.Bool
+}
+
+func (s *flakyShard) Info() ShardInfo { return s.inner.Info() }
+
+func (s *flakyShard) Query(ctx context.Context, q Query) (*Partial, error) {
+	if s.fail.Load() {
+		return nil, errors.New("shard down")
+	}
+	return s.inner.Query(ctx, q)
+}
+
+// TestRouterServeStaleOnOutage: with a TTL set, a complete cached
+// answer from an older tip is served — flagged Cached + ServedStale,
+// down shards reported in Stale — when planned shards are
+// unavailable, on both the below-quorum and the degraded-but-quorate
+// paths.
+func TestRouterServeStaleOnOutage(t *testing.T) {
+	for _, quorum := range []float64{1, 0.5} {
+		tip := atomic.Int64{}
+		tip.Store(99)
+		a := &countingShard{p: Partial{Shard: 0, Tip: 99, Count: 10}}
+		b := &flakyShard{inner: &countingShard{p: Partial{Shard: 1, Tip: 99, Count: 3}}}
+		part := ByHeight(2, 99)
+		rt := NewRouter(part, []Shard{a, b}, Options{Quorum: quorum, CacheTTL: time.Minute}, tip.Load)
+
+		q := Query{Kind: KindCount, Range: etl.All()}
+		if _, err := rt.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+
+		// Outage plus a tip advance: the fresh path misses, the fan-out
+		// loses shard 1, and the cached complete answer steps in.
+		b.fail.Store(true)
+		tip.Store(100)
+		res, err := rt.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("quorum %.1f: outage query failed instead of serving stale: %v", quorum, err)
+		}
+		if !res.Cached || !res.ServedStale {
+			t.Fatalf("quorum %.1f: flags = cached %v stale-served %v, want both", quorum, res.Cached, res.ServedStale)
+		}
+		if res.Count != 13 {
+			t.Fatalf("quorum %.1f: stale count %d, want the cached 13", quorum, res.Count)
+		}
+		if len(res.Missing) != 0 || len(res.Gaps) != 0 {
+			t.Fatalf("quorum %.1f: served-stale result still degraded: missing=%v gaps=%v", quorum, res.Missing, res.Gaps)
+		}
+		if len(res.Stale) != 1 || res.Stale[0] != (ShardLag{Shard: 1, Tip: 99, Behind: 1}) {
+			t.Fatalf("quorum %.1f: stale = %+v, want shard 1 at cached tip 99", quorum, res.Stale)
+		}
+		if st := rt.CacheStats(); st.StaleHits != 1 {
+			t.Fatalf("quorum %.1f: stale hits = %d, want 1", quorum, st.StaleHits)
+		}
+
+		// Recovery: the next query at the live tip fans out normally and
+		// is fresh again.
+		b.fail.Store(false)
+		res, err = rt.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached || res.ServedStale {
+			t.Fatalf("quorum %.1f: recovered query still flagged cached=%v stale=%v", quorum, res.Cached, res.ServedStale)
+		}
+	}
+}
+
+// TestRouterServeStaleRespectsTTL: an expired entry is never served
+// during an outage, and with TTL zero (the default) the serve-stale
+// path does not exist at all.
+func TestRouterServeStaleRespectsTTL(t *testing.T) {
+	build := func(ttl time.Duration, tip *atomic.Int64) (*Router, *flakyShard) {
+		a := &countingShard{p: Partial{Shard: 0, Tip: 99, Count: 10}}
+		b := &flakyShard{inner: &countingShard{p: Partial{Shard: 1, Tip: 99, Count: 3}}}
+		return NewRouter(ByHeight(2, 99), []Shard{a, b}, Options{CacheTTL: ttl}, tip.Load), b
+	}
+
+	// Expired entry: the outage query fails quorum rather than serving
+	// an answer past its TTL.
+	tip := atomic.Int64{}
+	tip.Store(99)
+	rt, b := build(5*time.Millisecond, &tip)
+	q := Query{Kind: KindCount, Range: etl.All()}
+	if _, err := rt.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	b.fail.Store(true)
+	tip.Store(100)
+	if _, err := rt.Query(context.Background(), q); err == nil {
+		t.Fatal("outage query served a result past its TTL")
+	}
+
+	// TTL zero: original semantics — tip advance flushes, outage fails.
+	tip2 := atomic.Int64{}
+	tip2.Store(99)
+	rt2, b2 := build(0, &tip2)
+	if _, err := rt2.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	b2.fail.Store(true)
+	tip2.Store(100)
+	if _, err := rt2.Query(context.Background(), q); err == nil {
+		t.Fatal("TTL-zero cache served stale during an outage")
+	}
+}
+
+// TestCacheTTLExpiresFreshHits: even same-tip lookups miss once the
+// entry ages past the TTL.
+func TestCacheTTLExpiresFreshHits(t *testing.T) {
+	c := newResultCache(2, 5*time.Millisecond)
+	c.put("a", 9, &Result{Count: 1})
+	if c.get("a", 9) == nil {
+		t.Fatal("entry missing inside its TTL")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if c.get("a", 9) != nil {
+		t.Fatal("expired entry served as a fresh hit")
+	}
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("expired entry still resident: %+v", st)
+	}
+}
+
 // TestCacheLRUEviction: the oldest untouched entry leaves first.
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	r := &Result{Count: 1}
 	c.put("a", 9, r)
 	c.put("b", 9, r)

@@ -218,6 +218,12 @@ type Result struct {
 	// Cached reports the answer was replayed from the router's result
 	// cache rather than fanned out to shards.
 	Cached bool
+	// ServedStale reports the serve-stale-on-outage path: planned
+	// shards were down (crashed, breaker open, timed out), but a
+	// complete cached answer within the cache TTL existed, so it was
+	// returned — Cached set, the unavailable shards listed in Stale at
+	// the cached tip — instead of degrading to Gaps.
+	ServedStale bool
 }
 
 // Precision is the routing precision of this query: the fraction of
@@ -248,6 +254,28 @@ type Options struct {
 	// default (256); negative disables caching. The cache only engages
 	// when the router has a source-tip probe to key entries against.
 	CacheSize int
+	// CacheTTL bounds a cache entry's age. Zero keeps the PR-7
+	// semantics: entries live until the source tip advances and are
+	// never served across tips. A positive TTL additionally enables
+	// serve-stale-on-outage: when planned shards are unavailable, a
+	// complete cached answer computed at an older tip is returned —
+	// flagged Cached + ServedStale with the down shards in Stale —
+	// instead of degrading to Gaps, for as long as the entry is within
+	// its TTL.
+	CacheTTL time.Duration
+
+	// ShardStore, when set, makes shard nodes durable: it returns the
+	// directory and etl config for a shard's store, and the node runs
+	// on etl.Open(dir, cfg) instead of an in-memory store. It is called
+	// at node start and again at every supervised restart, so a chaos
+	// harness can heal or swap the filesystem between incarnations. A
+	// restarted node resumes from its sealed segments and WAL tail and
+	// re-tails only the blocks it missed.
+	ShardStore func(id ShardID) (dir string, cfg etl.Config)
+	// WrapSource, when set, wraps each node's block source — the
+	// fed-layer fault-injection hook (stalls, disconnects) and the
+	// place to hang metrics. Called once per node incarnation.
+	WrapSource func(id ShardID, src Source) Source
 }
 
 func (o Options) quorum() float64 {

@@ -36,7 +36,7 @@ func NewRouter(part Partition, shards []Shard, opts Options, sourceTip func() in
 	// The cache keys entries by source tip, so it needs a cheap tip
 	// probe; without one (sourceTip nil) it stays off.
 	if size := opts.cacheSize(); size > 0 && sourceTip != nil {
-		rt.cache = newResultCache(size)
+		rt.cache = newResultCache(size, opts.CacheTTL)
 	}
 	return rt
 }
@@ -127,11 +127,6 @@ func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
 	sort.Slice(parts, func(i, j int) bool { return parts[i].Shard < parts[j].Shard })
 	sort.Slice(res.Missing, func(i, j int) bool { return res.Missing[i] < res.Missing[j] })
 
-	if quo := rt.opts.quorum(); len(planned) > 0 && float64(len(parts)) < quo*float64(len(planned)) {
-		return nil, fmt.Errorf("fed: %d/%d shards answered, below quorum %.2f", len(parts), len(planned), quo)
-	}
-	res.Gaps = rt.gapsFor(q, res.Missing)
-
 	srcTip := int64(-1)
 	if rt.sourceTip != nil {
 		srcTip = rt.sourceTip()
@@ -142,6 +137,22 @@ func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
 			}
 		}
 	}
+
+	if quo := rt.opts.quorum(); len(planned) > 0 && float64(len(parts)) < quo*float64(len(planned)) {
+		if st := rt.serveStale(key, res.Missing, srcTip, start); st != nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("fed: %d/%d shards answered, below quorum %.2f", len(parts), len(planned), quo)
+	}
+	if len(res.Missing) > 0 {
+		// Shards are down (crashed, breaker open, timed out) but quorum
+		// holds. A complete answer from an older tip, if one is still
+		// within its TTL, beats degrading to gaps.
+		if st := rt.serveStale(key, res.Missing, srcTip, start); st != nil {
+			return st, nil
+		}
+	}
+	res.Gaps = rt.gapsFor(q, res.Missing)
 	for _, p := range parts {
 		if behind := srcTip - p.Tip; behind > rt.opts.LagBudget {
 			res.Stale = append(res.Stale, ShardLag{Shard: p.Shard, Tip: p.Tip, Behind: behind})
@@ -167,6 +178,30 @@ func (rt *Router) Query(ctx context.Context, q Query) (*Result, error) {
 		rt.cache.put(key, srcTip, &cp)
 	}
 	return res, nil
+}
+
+// serveStale tries the outage fallback: a complete cached answer for
+// the same query computed at an older tip, still within the cache
+// TTL. The copy is flagged Cached + ServedStale, and the down shards
+// are reported in Stale at the entry's tip — the caller sees exactly
+// how old its answer is and who was unavailable.
+func (rt *Router) serveStale(key string, down []ShardID, srcTip int64, start time.Time) *Result {
+	if rt.cache == nil {
+		return nil
+	}
+	hit, asOf, ok := rt.cache.stale(key)
+	if !ok {
+		return nil
+	}
+	cp := *hit
+	cp.Cached = true
+	cp.ServedStale = true
+	cp.Stale = make([]ShardLag, 0, len(down))
+	for _, id := range down {
+		cp.Stale = append(cp.Stale, ShardLag{Shard: id, Tip: asOf, Behind: srcTip - asOf})
+	}
+	cp.Elapsed = time.Since(start)
+	return &cp
 }
 
 // gapsFor converts missing shards into the height intervals of the

@@ -9,17 +9,25 @@ import (
 )
 
 // Shard answers queries for one partition slice. The in-process
-// implementation wraps a Node; tests wrap Shards to inject latency
-// and failure.
+// implementation wraps a node slot; tests wrap Shards to inject
+// latency and failure.
 type Shard interface {
 	Info() ShardInfo
 	Query(ctx context.Context, q Query) (*Partial, error)
 }
 
-// localShard answers from a Node's store in-process.
-type localShard struct{ n *Node }
+// localShard answers from a slot's current node in-process. The node
+// is resolved per query, so a supervised restart swaps incarnations
+// under the router without rewiring anything.
+type localShard struct{ sl *nodeSlot }
 
-func (s *localShard) Info() ShardInfo { return s.n.Info() }
+func (s *localShard) Info() ShardInfo {
+	n := s.sl.current()
+	if n == nil {
+		return ShardInfo{ID: s.sl.id, Err: s.sl.downErr().Error()}
+	}
+	return n.Info()
+}
 
 // ctxCheckStride is how many visited transactions pass between
 // context checks during a scan — frequent enough that a per-shard
@@ -28,20 +36,26 @@ func (s *localShard) Info() ShardInfo { return s.n.Info() }
 const ctxCheckStride = 1024
 
 func (s *localShard) Query(ctx context.Context, q Query) (*Partial, error) {
-	if err := s.n.Err(); err != nil {
+	n := s.sl.current()
+	if n == nil {
+		// Down shards fail fast — no timeout is burned waiting on them,
+		// the router degrades them to Missing/Gaps immediately.
+		return nil, s.sl.downErr()
+	}
+	if err := n.Err(); err != nil {
 		return nil, err
 	}
-	p := &Partial{Shard: s.n.id, Tip: s.n.store.Height()}
+	p := &Partial{Shard: n.id, Tip: n.store.Height()}
 	var err error
 	switch q.Kind {
 	case KindCount:
-		err = s.count(ctx, q, p)
+		err = count(ctx, n, q, p)
 	case KindMix:
-		err = s.mix(ctx, q, p)
+		err = mix(ctx, n, q, p)
 	case KindTopActors:
-		err = s.topActors(ctx, q, p)
+		err = topActors(ctx, n, q, p)
 	case KindTxns:
-		err = s.txns(ctx, q, p)
+		err = txns(ctx, n, q, p)
 	}
 	if err != nil {
 		return nil, err
@@ -53,10 +67,10 @@ func (s *localShard) Query(ctx context.Context, q Query) (*Partial, error) {
 // query's region restriction and checking ctx every ctxCheckStride
 // transactions. fn returning false stops the scan early (not an
 // error).
-func (s *localShard) scan(ctx context.Context, q Query, fn func(h int64, t chain.Txn) bool) error {
+func scan(ctx context.Context, n *Node, q Query, fn func(h int64, t chain.Txn) bool) error {
 	var visited int
 	var err error
-	s.n.store.Scan(q.Range, q.Filter, func(h int64, t chain.Txn) bool {
+	n.store.Scan(q.Range, q.Filter, func(h int64, t chain.Txn) bool {
 		if visited++; visited%ctxCheckStride == 0 {
 			if err = ctx.Err(); err != nil {
 				return false
@@ -73,44 +87,44 @@ func (s *localShard) scan(ctx context.Context, q Query, fn func(h int64, t chain
 // wholeStore reports the query covers the shard's entire store with
 // no filter, so materialized aggregates answer in O(1)/O(types)
 // without a scan.
-func (s *localShard) wholeStore(q Query) bool {
+func wholeStore(n *Node, q Query) bool {
 	if q.HasRegion || len(q.Filter.Types) > 0 || len(q.Filter.Actors) > 0 {
 		return false
 	}
-	first, tip := s.n.store.FirstHeight(), s.n.store.Height()
+	first, tip := n.store.FirstHeight(), n.store.Height()
 	if first < 0 {
 		return false
 	}
 	return q.Range.From <= first && (q.Range.To < 0 || q.Range.To >= tip)
 }
 
-func (s *localShard) count(ctx context.Context, q Query, p *Partial) error {
-	if s.wholeStore(q) {
-		p.Count = s.n.store.TxnCount()
+func count(ctx context.Context, n *Node, q Query, p *Partial) error {
+	if wholeStore(n, q) {
+		p.Count = n.store.TxnCount()
 		return nil
 	}
-	return s.scan(ctx, q, func(int64, chain.Txn) bool {
+	return scan(ctx, n, q, func(int64, chain.Txn) bool {
 		p.Count++
 		return true
 	})
 }
 
-func (s *localShard) mix(ctx context.Context, q Query, p *Partial) error {
-	if s.wholeStore(q) {
-		p.Mix = s.n.store.TxnMix()
+func mix(ctx context.Context, n *Node, q Query, p *Partial) error {
+	if wholeStore(n, q) {
+		p.Mix = n.store.TxnMix()
 		return nil
 	}
 	p.Mix = make(map[chain.TxnType]int64)
-	return s.scan(ctx, q, func(_ int64, t chain.Txn) bool {
+	return scan(ctx, n, q, func(_ int64, t chain.Txn) bool {
 		p.Mix[t.TxnType()]++
 		return true
 	})
 }
 
-func (s *localShard) topActors(ctx context.Context, q Query, p *Partial) error {
+func topActors(ctx context.Context, n *Node, q Query, p *Partial) error {
 	counts := make(map[string]int64)
 	var seen []string // per-txn dedupe scratch
-	err := s.scan(ctx, q, func(_ int64, t chain.Txn) bool {
+	err := scan(ctx, n, q, func(_ int64, t chain.Txn) bool {
 		seen = seen[:0]
 		etl.ActorsOf(t, func(a string) {
 			if a == "" {
@@ -150,7 +164,7 @@ func rankActors(counts map[string]int64) []ActorCount {
 	return out
 }
 
-func (s *localShard) txns(ctx context.Context, q Query, p *Partial) error {
+func txns(ctx context.Context, n *Node, q Query, p *Partial) error {
 	limit := q.pageLimit()
 	r := q.Range
 	if q.Cursor.Height > r.From {
@@ -159,8 +173,8 @@ func (s *localShard) txns(ctx context.Context, q Query, p *Partial) error {
 	}
 	qr := q
 	qr.Range = r
-	err := s.scan(ctx, qr, func(h int64, t chain.Txn) bool {
-		rec := TxnRec{Height: h, Seq: s.n.seqOf(t), Type: t.TxnType().String(), Hash: chain.Hash(t), Txn: t}
+	err := scan(ctx, n, qr, func(h int64, t chain.Txn) bool {
+		rec := TxnRec{Height: h, Seq: n.seqOf(h, t), Type: t.TxnType().String(), Hash: chain.Hash(t), Txn: t}
 		if rec.cursor().before(q.Cursor) {
 			return true
 		}

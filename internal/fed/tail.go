@@ -20,6 +20,7 @@ import (
 type MergedTail struct {
 	nodes []*Node
 	tails []*tailHandle
+	dead  bool // a shard was down at creation; Next always returns false
 }
 
 // tailHandle is one shard's cursor into its store tail.
@@ -30,10 +31,20 @@ type tailHandle struct {
 
 // Tail returns a merged tail positioned after the given height (-1
 // replays everything). Close it when done; a tail left open pins the
-// shard stores' condition broadcasts to one extra waiter each.
+// shard stores' condition broadcasts to one extra waiter each. The
+// tail is pinned to the node incarnations current at creation; take a
+// fresh tail after a supervised restart.
 func (cl *Cluster) Tail(after int64) *MergedTail {
-	mt := &MergedTail{nodes: cl.nodes}
-	for _, n := range cl.nodes {
+	mt := &MergedTail{}
+	for _, sl := range cl.slots {
+		n := sl.current()
+		if n == nil {
+			// A down shard can never stream; yield an already-ended tail
+			// rather than a nil deref mid-merge.
+			mt.dead = true
+			continue
+		}
+		mt.nodes = append(mt.nodes, n)
 		mt.tails = append(mt.tails, &tailHandle{after: after, src: NewStoreSource(n.store)})
 	}
 	return mt
@@ -43,6 +54,9 @@ func (cl *Cluster) Tail(after int64) *MergedTail {
 // every shard has ingested it. It returns false after Close or if the
 // shard streams diverge (a shard died mid-height).
 func (mt *MergedTail) Next() (*chain.Block, bool) {
+	if mt.dead {
+		return nil, false
+	}
 	pieces := make([]*chain.Block, len(mt.tails))
 	for i, th := range mt.tails {
 		b, ok := th.src.Next(th.after)
@@ -71,7 +85,7 @@ func (mt *MergedTail) Next() (*chain.Block, bool) {
 	var recs []seqTxn
 	for i, p := range pieces {
 		for _, t := range p.Txns {
-			recs = append(recs, seqTxn{seq: mt.nodes[i].seqOf(t), t: t})
+			recs = append(recs, seqTxn{seq: mt.nodes[i].seqOf(h, t), t: t})
 		}
 	}
 	sort.Slice(recs, func(a, b int) bool { return recs[a].seq < recs[b].seq })
