@@ -1,14 +1,20 @@
 // Command peoplesnetlint runs the repo's custom static-analysis suite
-// (internal/analysis): fsdiscipline, determinism, txnexhaustive, and
-// closecheck. It is a multichecker in two modes:
+// (internal/analysis): fsdiscipline, determinism, txnexhaustive,
+// closecheck, mutexguard, tickerstop, goroutinelife, ctxflow, and
+// lintallow. It is a multichecker in two modes:
 //
 //	peoplesnetlint ./...                      # standalone over the module
 //	go vet -vettool=$(pwd)/bin/peoplesnetlint ./...   # as a vet tool
 //
-// In vettool mode it speaks the `go vet` unit-checker protocol
-// (-V=full handshake, -flags, and a JSON .cfg describing one
-// compilation unit with pre-built export data), so `go vet` caching
-// and per-package invocation work as with any vet analyzer.
+// Standalone mode analyzes the module-internal dependency closure in
+// dependency order through the parallel driver, so the
+// interprocedural passes (goroutinelife, ctxflow, mutexguard) see the
+// facts their dependencies export. In vettool mode it speaks the
+// `go vet` unit-checker protocol (-V=full handshake, -flags, and a
+// JSON .cfg describing one compilation unit with pre-built export
+// data); vet invokes the tool per package with no fact transport, so
+// the interprocedural passes degrade to their lenient intra-package
+// behavior there.
 //
 // Flags (standalone mode):
 //
@@ -16,6 +22,9 @@
 //	-analyzers a,b run a subset
 //	-suppressions  print every //lint:allow suppression instead of
 //	               findings, so the escape hatch can be audited
+//	-json          emit a machine-readable report (findings and
+//	               suppressions, schema internal/analysis.Report)
+//	-workers n     bound analysis parallelism (default GOMAXPROCS)
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"peoplesnet/internal/analysis"
@@ -45,6 +55,8 @@ func main() {
 		list         = flag.Bool("list", false, "list analyzers and exit")
 		suppressions = flag.Bool("suppressions", false, "print //lint:allow suppressions instead of findings")
 		selection    = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		jsonOut      = flag.Bool("json", false, "emit findings and suppressions as a JSON report")
+		workers      = flag.Int("workers", 0, "bound analysis parallelism (default GOMAXPROCS)")
 		flagsMode    = flag.Bool("flags", false, "describe flags in JSON (go vet protocol)")
 	)
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
@@ -87,11 +99,13 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, analyzers, *suppressions, log))
+	os.Exit(runStandalone(args, analyzers, *suppressions, *jsonOut, *workers, log))
 }
 
-// runStandalone loads packages from source and runs the suite.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, printSuppressions bool, log func(string, ...any)) int {
+// runStandalone analyzes the dependency closure of the requested
+// packages through the parallel, fact-propagating driver, then prints
+// findings for the packages that were actually requested.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, printSuppressions, jsonOut bool, workers int, log func(string, ...any)) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		log("%v", err)
@@ -102,6 +116,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, printSuppr
 		log("%v", err)
 		return 2
 	}
+	requested := make(map[string]bool)
 	var paths []string
 	for _, pat := range patterns {
 		ps, err := loader.Packages(pat)
@@ -109,32 +124,59 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, printSuppr
 			log("%v", err)
 			return 2
 		}
-		paths = append(paths, ps...)
+		for _, p := range ps {
+			if !requested[p] {
+				requested[p] = true
+				paths = append(paths, p)
+			}
+		}
 	}
 
+	drv := &analysis.Driver{Loader: loader, Analyzers: analyzers, Workers: workers}
+	results, err := drv.Run(paths)
+	if err != nil {
+		log("%v", err)
+		return 2
+	}
+	// The driver analyzes dependencies for their facts; report only on
+	// what was asked for.
+	for p := range results {
+		if !requested[p] {
+			delete(results, p)
+		}
+	}
+
+	if jsonOut {
+		rep := analysis.BuildReport(loader.Fset, analyzers, results, cwd)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log("%v", err)
+			return 2
+		}
+		if len(rep.Findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	order := make([]string, 0, len(results))
+	for p := range results {
+		order = append(order, p)
+	}
+	sort.Strings(order)
 	exit := 0
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			log("%v", err)
-			exit = 2
-			continue
-		}
-		res, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			log("%v", err)
-			exit = 2
-			continue
-		}
+	for _, path := range order {
+		res := results[path]
 		if printSuppressions {
 			for _, s := range res.Suppressions {
 				fmt.Printf("%s: %s: suppressed: %s (reason: %s)\n",
-					rel(cwd, pkg.Fset.Position(s.Pos)), s.Analyzer, s.Message, s.Reason)
+					rel(cwd, loader.Fset.Position(s.Pos)), s.Analyzer, s.Message, s.Reason)
 			}
 			continue
 		}
 		for _, d := range res.Diagnostics {
-			fmt.Printf("%s: %s: %s\n", rel(cwd, pkg.Fset.Position(d.Pos)), d.Analyzer, d.Message)
+			fmt.Printf("%s: %s: %s\n", rel(cwd, loader.Fset.Position(d.Pos)), d.Analyzer, d.Message)
 			if exit == 0 {
 				exit = 1
 			}
@@ -184,8 +226,10 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer, log func(string, ..
 		log("cannot decode vet config %s: %v", cfgPath, err)
 		return 2
 	}
-	// The suite keeps no cross-package facts; publish an empty facts
-	// file so the go command can cache the (empty) result.
+	// Facts travel only inside the standalone driver's in-memory store;
+	// vet mode runs each unit in isolation and the interprocedural
+	// passes degrade leniently. Publish an empty facts file so the go
+	// command can cache the (empty) result.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			log("%v", err)

@@ -63,6 +63,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts  *FactStore
 	report func(Diagnostic)
 }
 
@@ -93,7 +94,7 @@ type Suppression struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck, MutexGuard, TickerStop}
+	return []*Analyzer{FSDiscipline, Determinism, TxnExhaustive, CloseCheck, MutexGuard, TickerStop, GoroutineLife, CtxFlow, LintAllow}
 }
 
 // ByName resolves a comma-separated analyzer selection.

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the repo's context discipline everywhere:
+//
+//  1. a context.Context parameter comes first in the signature (after
+//     the receiver), matching the stdlib convention every reader
+//     assumes;
+//  2. context.Context is never stored in a struct field — a stored
+//     ctx outlives the call it scoped and silently detaches
+//     cancellation from the work it was supposed to bound;
+//  3. a function that was handed a ctx never manufactures a fresh
+//     root with context.Background()/TODO() — deriving from the
+//     incoming ctx is what propagates cancellation;
+//  4. a ctx accepted by a function must actually flow somewhere: a
+//     ctx method call (Done/Err/Deadline/Value), or a callee that
+//     itself consumes its context. The callee side is interprocedural
+//     — each function exports a "consumes its context" fact, so
+//     passing ctx into a helper that drops it is flagged at the
+//     caller even when the helper lives in another package. Naming
+//     the parameter `_` is the sanctioned opt-out for interface
+//     compliance.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "require context.Context parameters to come first, never be stored in\n" +
+		"struct fields, never be shadowed by a fresh context.Background(), and\n" +
+		"actually reach a cancellation check or a consuming callee\n" +
+		"(interprocedural via facts); a dropped ctx is an unbounded call in a\n" +
+		"pipeline that believes it set a deadline.",
+	Run: runCtxFlow,
+}
+
+// ctxUseFact records whether a function's context parameter reaches a
+// real use — a ctx method call, or a callee that consumes its own
+// context. Exported for every function with a ctx parameter so
+// callers in dependent packages can judge their hand-off.
+type ctxUseFact struct {
+	Consumes bool
+}
+
+func (*ctxUseFact) AFact() {}
+
+// ctxFn is one function with a context parameter, pending judgment.
+type ctxFn struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	prm  *types.Var // the ctx parameter object
+	// direct is true when the body itself uses the ctx (method call,
+	// stdlib hand-off, stored/aliased conservatively).
+	direct bool
+	// handoffs are module-internal callees the ctx is passed to; the
+	// function consumes its ctx if any of them consume theirs.
+	handoffs []*types.Func
+	consumes bool
+}
+
+func runCtxFlow(pass *Pass) error {
+	checkCtxStructFields(pass)
+
+	// Collect every function with a ctx parameter, check parameter
+	// position, and classify every use of the parameter.
+	var fns []*ctxFn
+	byObj := make(map[*types.Func]*ctxFn)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			prm := ctxParam(pass, fn, sig)
+			if fn.Body != nil {
+				checkBackgroundUnderCtx(pass, fn, prm != nil)
+			}
+			if prm == nil || fn.Body == nil || prm.Name() == "_" || prm.Name() == "" {
+				continue
+			}
+			c := &ctxFn{decl: fn, obj: obj, prm: prm}
+			classifyCtxUses(pass, c)
+			fns = append(fns, c)
+			byObj[obj] = c
+		}
+	}
+
+	// Settle consumption with a fixpoint over the same-package call
+	// graph; cross-package callees come from facts (already settled —
+	// the driver analyzed them first). An unknown callee (outside the
+	// module, or unit mode with no facts) counts as consuming, so the
+	// pass degrades leniently rather than inventing findings.
+	calleeConsumes := func(callee *types.Func) bool {
+		if local, ok := byObj[callee]; ok {
+			return local.consumes
+		}
+		var f ctxUseFact
+		if pass.ImportObjectFact(callee, &f) {
+			return f.Consumes
+		}
+		return true
+	}
+	for _, c := range fns {
+		c.consumes = c.direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range fns {
+			if c.consumes {
+				continue
+			}
+			for _, callee := range c.handoffs {
+				if calleeConsumes(callee) {
+					c.consumes = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, c := range fns {
+		pass.ExportObjectFact(c.obj, &ctxUseFact{Consumes: c.consumes})
+		if c.consumes {
+			continue
+		}
+		if len(c.handoffs) == 0 {
+			pass.Reportf(c.prm.Pos(),
+				"%s accepts ctx but never uses it; plumb it into the blocking work or name it _ if the signature demands it",
+				c.obj.Name())
+			continue
+		}
+		pass.Reportf(c.prm.Pos(),
+			"ctx never reaches a cancellation check in %s: every callee it is passed to drops its context",
+			c.obj.Name())
+	}
+	return nil
+}
+
+// ctxParam returns the function's context parameter and reports a
+// diagnostic when it is not the first parameter. Multiple ctx
+// parameters are themselves a finding; the first is returned.
+func ctxParam(pass *Pass, fn *ast.FuncDecl, sig *types.Signature) *types.Var {
+	params := sig.Params()
+	var first *types.Var
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if !isContextType(p.Type()) {
+			continue
+		}
+		if first == nil {
+			first = p
+		}
+		if i != 0 {
+			pass.Reportf(p.Pos(),
+				"context.Context must be the first parameter of %s, not parameter %d",
+				fn.Name.Name, i+1)
+		}
+	}
+	return first
+}
+
+// checkCtxStructFields flags struct fields of type context.Context.
+func checkCtxStructFields(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[fld.Type]
+				if !ok || !isContextType(tv.Type) {
+					continue
+				}
+				pass.Reportf(fld.Type.Pos(),
+					"do not store context.Context in a struct field; pass it per call so cancellation stays scoped to the work")
+			}
+			return true
+		})
+	}
+}
+
+// checkBackgroundUnderCtx flags context.Background()/TODO() calls in
+// the body of a function that already has a ctx parameter.
+func checkBackgroundUnderCtx(pass *Pass, fn *ast.FuncDecl, hasCtx bool) {
+	if !hasCtx {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Background" && name != "TODO" {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s has a ctx parameter; derive from it instead of starting a fresh context.%s, or cancellation never propagates",
+			fn.Name.Name, name)
+		return true
+	})
+}
+
+// classifyCtxUses walks fn's body once, tracking each node's parent,
+// and records how the ctx parameter is used at every appearance.
+// Anything other than a plain hand-off to a module-internal callee —
+// a ctx method call, an argument to code outside the module, an
+// alias, a store — conservatively counts as direct consumption: the
+// pass only flags what it can prove is dropped.
+func classifyCtxUses(pass *Pass, c *ctxFn) {
+	var stack []ast.Node
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != c.prm {
+			return true
+		}
+		var parent ast.Node
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		if classifyOneCtxUse(pass, c, id, parent) {
+			c.direct = true
+		}
+		return true
+	})
+}
+
+// classifyOneCtxUse judges one appearance of the ctx identifier given
+// its parent node, returning true for direct consumption. Hand-offs
+// to module-internal callees are appended to c.handoffs instead.
+func classifyOneCtxUse(pass *Pass, c *ctxFn, id *ast.Ident, parent ast.Node) bool {
+	// ctx.Done() / ctx.Err() / ctx.Deadline() / ctx.Value(): the
+	// parent is a selector whose X is the ident.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		return true
+	}
+
+	// Argument position: find the call it feeds.
+	if call, ok := parent.(*ast.CallExpr); ok && call.Fun != id {
+		callee := staticCallee(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true // dynamic or builtin: assume consumed
+		}
+		if callee.Pkg().Path() == "context" {
+			// context.WithTimeout(ctx, …) and friends: the derived ctx
+			// carries the parent's cancellation; deriving is use.
+			return true
+		}
+		if isModulePath(pass, callee.Pkg().Path()) {
+			c.handoffs = append(c.handoffs, callee)
+			return false
+		}
+		return true // stdlib / external callee: assume it consumes
+	}
+
+	// Anything else — aliased, returned, stored, compared — is beyond
+	// the pass's resolution; treat as consumption.
+	return true
+}
+
+// isModulePath reports whether path belongs to the module under
+// analysis (same module as the package being checked).
+func isModulePath(pass *Pass, path string) bool {
+	root, _, _ := strings.Cut(pass.Pkg.Path(), "/")
+	return path == root || strings.HasPrefix(path, root+"/")
+}

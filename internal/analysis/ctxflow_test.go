@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCtxFlowFixture(t *testing.T) {
+	// core is listed first: fed's handoffToDropper want exists only
+	// because core's analysis exported Drop's consumes=false fact.
+	res := runFixture(t, "ctxflow", CtxFlow,
+		"peoplesnet/internal/core",
+		"peoplesnet/internal/fed",
+	)
+	if len(res.Suppressions) != 0 {
+		t.Errorf("ctxflow fixture expects no suppressions, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 8 {
+		t.Errorf("ctxflow fixture expects 8 findings, got %d", len(res.Diagnostics))
+	}
+}
+
+// TestCtxFlowLenientWithoutFacts pins the degradation contract: with
+// no imported facts, a hand-off to an unknown external callee is
+// presumed consuming, so the cross-package dead-drop finding vanishes
+// while the purely local ones stay.
+func TestCtxFlowLenientWithoutFacts(t *testing.T) {
+	l, err := NewLoader("testdata/ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("peoplesnet/internal/fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pkg, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "handoffToDropper") {
+			t.Errorf("without core's facts, handoffToDropper must not be flagged; got %q", d.Message)
+		}
+	}
+	// struct field, misordered param, fresh root, dead drop, relay,
+	// ignore — everything except the fact-dependent hand-off.
+	if len(res.Diagnostics) != 6 {
+		t.Errorf("fact-less run over fed should report the 6 local findings, got %d", len(res.Diagnostics))
+	}
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// A Driver runs the analyzer suite over a set of packages the way
+// `peoplesnetlint` does in standalone mode: the module-internal
+// dependency closure of the requested packages is analyzed in
+// dependency order, so facts exported by a callee's package are
+// available when any caller's package is analyzed. Independent
+// packages — same topological rank, no path between them — are
+// type-checked and analyzed concurrently across Workers goroutines;
+// the ordering constraint is per-edge, not a global barrier.
+type Driver struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	// Workers bounds analysis concurrency; <=0 means GOMAXPROCS. On a
+	// single-CPU process the driver degrades to the serial schedule.
+	Workers int
+	// Facts accumulates every fact of the run. Nil means the driver
+	// allocates a private store.
+	Facts *FactStore
+}
+
+// Run analyzes the dependency closure of paths and returns the result
+// for every package in the closure, keyed by import path. Requested
+// packages and their dependencies are all analyzed (a dependency's
+// facts are the point); callers that only care about the requested
+// set filter the map.
+func (d *Driver) Run(paths []string) (map[string]Result, error) {
+	if d.Facts == nil {
+		d.Facts = NewFactStore()
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Build the module-internal import graph of the closure,
+	// syntactically — no type-checking yet, so graph construction stays
+	// cheap and the expensive work lands on the parallel phase.
+	deps := make(map[string][]string)
+	var queue []string
+	queue = append(queue, paths...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if _, ok := deps[p]; ok {
+			continue
+		}
+		imps, err := d.Loader.ModuleImports(p)
+		if err != nil {
+			return nil, err
+		}
+		deps[p] = imps
+		queue = append(queue, imps...)
+	}
+
+	// Kahn scheduling: a package becomes ready when every
+	// module-internal dependency has been analyzed. A nonzero remainder
+	// with an empty ready queue is an import cycle, which `go build`
+	// would reject too.
+	waiting := make(map[string]int, len(deps))
+	dependents := make(map[string][]string)
+	var ready []string
+	for p, imps := range deps {
+		waiting[p] = len(imps)
+		for _, dep := range imps {
+			dependents[dep] = append(dependents[dep], p)
+		}
+		if len(imps) == 0 {
+			ready = append(ready, p)
+		}
+	}
+	sort.Strings(ready)
+
+	if workers > len(deps) {
+		workers = len(deps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		results  = make(map[string]Result, len(deps))
+		firstErr error
+		done     int
+		running  int
+	)
+	finish := func(p string, res Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		running--
+		done++
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[p] = res
+		for _, dep := range dependents[p] {
+			if waiting[dep]--; waiting[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		cond.Broadcast()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				// Wait only while some other worker is running: it may
+				// free a dependent. Nothing ready and nothing running is
+				// either completion or a stalled cycle — exit both ways
+				// (waiting would deadlock; nobody is left to broadcast).
+				for len(ready) == 0 && running > 0 && done+running < len(deps) && firstErr == nil {
+					cond.Wait()
+				}
+				if len(ready) == 0 || firstErr != nil {
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				p := ready[0]
+				ready = ready[1:]
+				running++
+				mu.Unlock()
+
+				pkg, err := d.Loader.Load(p)
+				if err != nil {
+					finish(p, Result{}, err)
+					continue
+				}
+				res, err := RunWithFacts(pkg, d.Analyzers, d.Facts)
+				finish(p, res, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	if done < len(deps) {
+		var stuck []string
+		for p, n := range waiting {
+			if n > 0 {
+				stuck = append(stuck, p)
+			}
+		}
+		sort.Strings(stuck)
+		return results, fmt.Errorf("analysis: import cycle among %v", stuck)
+	}
+	return results, nil
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriverSchedulesDependenciesForFacts runs the driver over only
+// the dependent package of the mutexguard fixture: the driver must
+// pull the etl dependency into the closure, analyze it first, and
+// deliver its facts — the cross-package FlushLocked call-site finding
+// cannot exist otherwise.
+func TestDriverSchedulesDependenciesForFacts(t *testing.T) {
+	l, err := NewLoader("testdata/mutexguard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &Driver{Loader: l, Analyzers: []*Analyzer{MutexGuard}}
+	results, err := drv.Run([]string{"peoplesnet/internal/fed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := results["peoplesnet/internal/etl"]; !ok {
+		t.Fatalf("driver did not analyze the etl dependency; got packages %v", keys(results))
+	}
+	found := false
+	for _, d := range results["peoplesnet/internal/fed"].Diagnostics {
+		if strings.Contains(d.Message, "FlushLocked requires its caller to hold Mu") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-package call-site finding missing: etl's facts did not reach fed")
+	}
+}
+
+// TestDriverParallelMatchesSerial pins determinism: more workers must
+// not change the result set, only the wall clock.
+func TestDriverParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) map[string]int {
+		// A fresh loader per run: type-checked packages are cached per
+		// loader, and the point is to re-run the schedule.
+		l, err := NewLoader("testdata/goroutinelife")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv := &Driver{Loader: l, Analyzers: []*Analyzer{GoroutineLife}, Workers: workers}
+		results, err := drv.Run([]string{
+			"peoplesnet/internal/fed",
+			"peoplesnet/internal/etl",
+			"peoplesnet/internal/geo",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for p, r := range results {
+			counts[p] = len(r.Diagnostics)
+		}
+		return counts
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("package sets differ: %v vs %v", serial, parallel)
+	}
+	for p, n := range serial {
+		if parallel[p] != n {
+			t.Errorf("%s: serial found %d findings, 4 workers found %d", p, n, parallel[p])
+		}
+	}
+	if serial["peoplesnet/internal/fed"] != 3 {
+		t.Errorf("fed expects 3 surviving findings via driver, got %d", serial["peoplesnet/internal/fed"])
+	}
+}
+
+// TestDriverRejectsImportCycle: a cyclic module must produce a clear
+// error, not a deadlocked schedule.
+func TestDriverRejectsImportCycle(t *testing.T) {
+	l, err := NewLoader("testdata/cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &Driver{Loader: l, Analyzers: []*Analyzer{Determinism}, Workers: 2}
+	_, err = drv.Run([]string{"peoplesnet/internal/a"})
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("want an import-cycle error, got %v", err)
+	}
+}
+
+func keys(m map[string]Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

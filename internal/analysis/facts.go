@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// A Fact is a datum an analyzer attaches to a package-level object
+// (function, method, or field) in one package so that the same
+// analyzer can consult it while analyzing a *different* package — the
+// stdlib-only miniature of golang.org/x/tools/go/analysis facts. The
+// driver analyzes packages in dependency order, so by the time a pass
+// sees a call into an imported package, the callee's facts are
+// already in the store.
+//
+// Facts must be pointers to structs, and the pointed-to value must
+// not be mutated after export. The concrete type identifies the fact:
+// one object can carry one fact of each type.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// factKey identifies one fact: the object it is attached to and the
+// fact's concrete type.
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// A FactStore holds every fact exported during one driver run. It is
+// shared by all passes of the run and is safe for concurrent use: the
+// driver's dependency ordering guarantees a fact is fully exported
+// before any importing package can ask for it, and the lock covers
+// unrelated packages racing on the map itself.
+type FactStore struct {
+	mu sync.RWMutex
+	m  map[factKey]Fact
+}
+
+// NewFactStore returns an empty fact store for one driver run.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) export(obj types.Object, f Fact) {
+	t := reflect.TypeOf(f)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer to struct", f))
+	}
+	s.mu.Lock()
+	s.m[factKey{obj, t}] = f
+	s.mu.Unlock()
+}
+
+// importFact copies the stored fact of ptr's type for obj into ptr,
+// reporting whether one existed.
+func (s *FactStore) importFact(obj types.Object, ptr Fact) bool {
+	t := reflect.TypeOf(ptr)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer to struct", ptr))
+	}
+	s.mu.RLock()
+	got, ok := s.m[factKey{obj, t}]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// ExportObjectFact attaches fact to obj for passes running later in
+// the same driver run (dependent packages, or later phases of this
+// one). fact must be a pointer to struct and must not be mutated
+// after export.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	p.facts.export(obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type previously
+// exported for obj into fact, reporting whether one existed. A miss
+// means the object's package has not been analyzed in this run (unit
+// mode, or a package outside the module): passes must degrade
+// leniently on a miss, never assume the worst.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	return p.facts.importFact(obj, fact)
+}

@@ -68,6 +68,16 @@ func parseWants(t *testing.T, pkg *Package) []*expectation {
 // can additionally assert on suppressions.
 func runFixture(t *testing.T, fixture string, a *Analyzer, pkgPaths ...string) Result {
 	t.Helper()
+	return runFixtureAll(t, fixture, []*Analyzer{a}, pkgPaths...)
+}
+
+// runFixtureAll is runFixture for several analyzers at once. The
+// packages share one fact store and are analyzed in the order listed,
+// so tests list dependencies before dependents — exactly the contract
+// the driver enforces with its import-graph schedule — and
+// cross-package wants exercise real fact propagation.
+func runFixtureAll(t *testing.T, fixture string, analyzers []*Analyzer, pkgPaths ...string) Result {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", fixture))
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +86,7 @@ func runFixture(t *testing.T, fixture string, a *Analyzer, pkgPaths ...string) R
 	if err != nil {
 		t.Fatalf("loader for fixture %s: %v", fixture, err)
 	}
+	facts := NewFactStore()
 	var merged Result
 	var wants []*expectation
 	for _, path := range pkgPaths {
@@ -83,9 +94,9 @@ func runFixture(t *testing.T, fixture string, a *Analyzer, pkgPaths ...string) R
 		if err != nil {
 			t.Fatalf("fixture %s: load %s: %v", fixture, path, err)
 		}
-		res, err := Run(pkg, []*Analyzer{a})
+		res, err := RunWithFacts(pkg, analyzers, facts)
 		if err != nil {
-			t.Fatalf("fixture %s: run %s on %s: %v", fixture, a.Name, path, err)
+			t.Fatalf("fixture %s: run on %s: %v", fixture, path, err)
 		}
 		merged.Diagnostics = append(merged.Diagnostics, res.Diagnostics...)
 		merged.Suppressions = append(merged.Suppressions, res.Suppressions...)

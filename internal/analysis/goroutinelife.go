@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoroutineLife enforces the repo's goroutine hygiene in the
+// long-lived packages (fed, etl, p2p, hotspot, simnet, chain): every
+// `go` statement must spawn a function with a provable shutdown path,
+// so supervisor restart cycles cannot accumulate orphans. A function
+// proves shutdown by any of:
+//
+//   - selecting on or receiving from a cancellation signal —
+//     ctx.Done(), or a channel named like done/stop/quit/shutdown;
+//   - being joined: it calls wg.Done on a sync.WaitGroup, or signals
+//     its own exit with `defer close(done)`;
+//   - ranging over a channel, which ends when the sender closes it;
+//   - simply terminating: a body with no unbounded loop runs to
+//     completion on its own.
+//
+// A body with an unbounded `for` and none of the signals is flagged
+// at the `go` statement. The check is interprocedural: `go n.run()`
+// is judged by run's body, and when run lives in another package its
+// verdict travels as a fact exported when that package was analyzed.
+// Verdicts are computed and exported for every package so spawn sites
+// anywhere in the long-lived set can consult them; only spawn sites
+// inside that set are reported.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "require every goroutine spawned in the long-lived packages (fed, etl,\n" +
+		"p2p, hotspot, simnet, chain) to have a provable shutdown path: a\n" +
+		"ctx/done-channel signal, a WaitGroup join or close(done), a\n" +
+		"close-driven channel range, or plain termination. An orphaned loop\n" +
+		"survives every supervisor restart cycle and leaks forever.",
+	Run: runGoroutineLife,
+}
+
+// goLifeFact is a function's shutdown verdict, exported so spawn
+// sites in dependent packages can judge `go pkg.Fn()` without seeing
+// Fn's body.
+type goLifeFact struct {
+	Shutdown bool
+	Why      string // human-readable verdict for diagnostics
+}
+
+func (*goLifeFact) AFact() {}
+
+// longLivedPkgs are the packages whose processes run for the life of
+// the deployment; goroutine leaks there compound across restart
+// cycles instead of dying with a short-lived command.
+var longLivedPkgs = map[string]bool{
+	"peoplesnet/internal/fed":     true,
+	"peoplesnet/internal/etl":     true,
+	"peoplesnet/internal/p2p":     true,
+	"peoplesnet/internal/hotspot": true,
+	"peoplesnet/internal/simnet":  true,
+	"peoplesnet/internal/chain":   true,
+}
+
+// doneChanRe matches the identifiers the repo uses for shutdown
+// channels; receiving from one is a cancellation check.
+var doneChanRe = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|exit|closing|closed|shutdown|cancel|notify)$`)
+
+func runGoroutineLife(pass *Pass) error {
+	// Phase 1: compute and export every function's shutdown verdict —
+	// in every package, so spawn sites downstream can import them.
+	verdicts := make(map[*types.Func]*goLifeFact)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ok2, why := shutdownVerdict(pass, fn.Body)
+			fact := &goLifeFact{Shutdown: ok2, Why: why}
+			verdicts[obj] = fact
+			pass.ExportObjectFact(obj, fact)
+		}
+	}
+
+	if !longLivedPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+
+	// Phase 2: judge every `go` statement in this package.
+	lookup := func(obj *types.Func) (*goLifeFact, bool) {
+		if f, ok := verdicts[obj]; ok {
+			return f, true
+		}
+		var f goLifeFact
+		if pass.ImportObjectFact(obj, &f) {
+			return &f, true
+		}
+		return nil, false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g, lookup)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt judges one spawn site. A function-literal body is
+// inspected directly; a named or method spawn is judged by the
+// callee's exported verdict. Dynamic spawns (interface methods,
+// function values) and functions outside the analyzed module are not
+// provable either way and are left alone.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, lookup func(*types.Func) (*goLifeFact, bool)) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if ok2, _ := shutdownVerdict(pass, lit.Body); !ok2 {
+			pass.Reportf(g.Pos(),
+				"goroutine has no provable shutdown path: body loops forever without a ctx/done signal, WaitGroup join, or close(done); orphans accumulate across supervisor restarts")
+			return
+		}
+		// A bounded wrapper body is only as good as what it calls:
+		// `go func() { pump() }()` leaks if pump never exits.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := staticCallee(pass, call); obj != nil {
+				if fact, known := lookup(obj); known && !fact.Shutdown {
+					pass.Reportf(g.Pos(),
+						"goroutine calls %s, which has no provable shutdown path (%s); orphans accumulate across supervisor restarts",
+						obj.Name(), fact.Why)
+					return false
+				}
+			}
+			return true
+		})
+		return
+	}
+	obj := staticCallee(pass, g.Call)
+	if obj == nil {
+		return
+	}
+	fact, known := lookup(obj)
+	if known && !fact.Shutdown {
+		pass.Reportf(g.Pos(),
+			"goroutine runs %s, which has no provable shutdown path (%s); orphans accumulate across supervisor restarts",
+			obj.Name(), fact.Why)
+	}
+}
+
+// staticCallee resolves a call to the package-level function or
+// method it statically invokes, or nil for dynamic calls.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Interface methods have no body to judge; only concrete
+	// functions and methods carry verdicts.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn
+}
+
+// shutdownVerdict inspects one function body and reports whether it
+// provably shuts down, with a short reason either way.
+func shutdownVerdict(pass *Pass, body *ast.BlockStmt) (bool, string) {
+	var signal string
+	unbounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if signal != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.ForStmt:
+			if node.Cond == nil {
+				// `for {}` and `for i := 0; ; i++ {}`: nothing in the
+				// header ends it; only a signal inside can.
+				unbounded = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, node.X) {
+				signal = "ranges over a channel, ended by the sender's close"
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && isChanType(pass, node.X) && doneChanRe.MatchString(finalName(node.X)) {
+				signal = "receives from shutdown channel " + finalName(node.X)
+			}
+		case *ast.DeferStmt:
+			if id, ok := node.Call.Fun.(*ast.Ident); ok && id.Name == "close" && len(node.Call.Args) == 1 && isChanType(pass, node.Call.Args[0]) {
+				signal = "announces exit with defer close(" + finalName(node.Call.Args[0]) + ")"
+			}
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			switch sel.Sel.Name {
+			case "Done":
+				switch {
+				case isContextExpr(pass, sel.X):
+					signal = "selects on ctx.Done()"
+				case isWaitGroupExpr(pass, sel.X):
+					signal = "joined via WaitGroup (" + finalName(sel.X) + ".Done)"
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case signal != "":
+		return true, signal
+	case !unbounded:
+		return true, "no unbounded loop; runs to completion"
+	default:
+		return false, "unbounded for-loop with no ctx/done signal, WaitGroup join, or close(done)"
+	}
+}
+
+// finalName is the last identifier of an expression (`n.done` →
+// "done"), or "" when there is none.
+func finalName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return finalName(x.Fun)
+	}
+	return ""
+}
+
+func isChanType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isContextExpr reports whether e's type is context.Context.
+func isContextExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isWaitGroupExpr reports whether e is a sync.WaitGroup (or pointer).
+func isWaitGroupExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGoroutineLifeFixture(t *testing.T) {
+	// etl is listed first: fed's cross-package wants are judged purely
+	// by the shutdown verdicts etl's analysis exports as facts.
+	res := runFixture(t, "goroutinelife", GoroutineLife,
+		"peoplesnet/internal/etl",
+		"peoplesnet/internal/fed",
+		"peoplesnet/internal/geo",
+	)
+	if len(res.Suppressions) != 1 {
+		t.Errorf("goroutinelife fixture expects 1 suppression (the sanctioned orphan), got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 4 {
+		t.Errorf("goroutinelife fixture expects 4 findings (local spawn, inline leak, cross-package spawn, wrapped cross-package call), got %d", len(res.Diagnostics))
+	}
+}
+
+// TestGoroutineLifeNeedsFacts pins the interprocedural claim: analyzed
+// without the etl package's facts, the fed spawn sites that reference
+// etl functions cannot be judged, so only the inline leak is reported.
+func TestGoroutineLifeNeedsFacts(t *testing.T) {
+	root := "testdata/goroutinelife"
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("peoplesnet/internal/fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pkg, []*Analyzer{GoroutineLife})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "PumpForever") {
+			t.Errorf("without etl facts, no PumpForever finding should survive; got %q", d.Message)
+		}
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Errorf("fact-less run over fed should keep only the inline leak, got %d findings", len(res.Diagnostics))
+	}
+}

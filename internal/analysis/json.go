@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReportVersion identifies the JSON report schema. Bump it on any
+// field rename or semantic change; consumers pin against it.
+const ReportVersion = 1
+
+// Report is the machine-readable output of a lint run: every finding
+// and every exercised suppression, with enough position detail for an
+// editor or CI annotator to jump to the line. Ordering is
+// deterministic (file, line, column, analyzer) so reports diff
+// cleanly across runs.
+type Report struct {
+	Version      int                `json:"version"`
+	Analyzers    []string           `json:"analyzers"`
+	Findings     []ReportFinding    `json:"findings"`
+	Suppressions []ReportSuppressed `json:"suppressions"`
+}
+
+// ReportFinding is one diagnostic in the JSON report.
+type ReportFinding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// ReportSuppressed is one //lint:allow-silenced finding, kept in the
+// report so the escape hatch stays auditable from CI.
+type ReportSuppressed struct {
+	ReportFinding
+	Reason string `json:"reason"`
+}
+
+// BuildReport flattens per-package results into a Report. File paths
+// are made relative to relTo when possible, keeping reports stable
+// across checkouts; pass "" to keep absolute paths.
+func BuildReport(fset *token.FileSet, analyzers []*Analyzer, results map[string]Result, relTo string) Report {
+	rep := Report{Version: ReportVersion}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	sort.Strings(rep.Analyzers)
+
+	at := func(pkg string, analyzer string, pos token.Pos, msg string) ReportFinding {
+		p := fset.Position(pos)
+		file := p.Filename
+		if relTo != "" {
+			if r, err := filepath.Rel(relTo, file); err == nil && !strings.HasPrefix(r, "..") {
+				file = filepath.ToSlash(r)
+			}
+		}
+		return ReportFinding{
+			Analyzer: analyzer,
+			Package:  pkg,
+			File:     file,
+			Line:     p.Line,
+			Column:   p.Column,
+			Message:  msg,
+		}
+	}
+
+	pkgs := make([]string, 0, len(results))
+	for p := range results {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		res := results[pkg]
+		for _, d := range res.Diagnostics {
+			rep.Findings = append(rep.Findings, at(pkg, d.Analyzer, d.Pos, d.Message))
+		}
+		for _, s := range res.Suppressions {
+			rep.Suppressions = append(rep.Suppressions, ReportSuppressed{
+				ReportFinding: at(pkg, s.Analyzer, s.Pos, s.Message),
+				Reason:        s.Reason,
+			})
+		}
+	}
+	sortFindings := func(fs []ReportFinding) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := fs[i], fs[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Column != b.Column {
+				return a.Column < b.Column
+			}
+			return a.Analyzer < b.Analyzer
+		}
+	}
+	sort.SliceStable(rep.Findings, sortFindings(rep.Findings))
+	sort.SliceStable(rep.Suppressions, func(i, j int) bool {
+		fs := []ReportFinding{rep.Suppressions[i].ReportFinding, rep.Suppressions[j].ReportFinding}
+		return sortFindings(fs)(0, 1)
+	})
+	return rep
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestReportRoundTrip pins the JSON schema: a report built from a real
+// fixture run survives marshal → unmarshal byte-for-byte, and the
+// wire field names are the documented ones — a rename is a schema
+// break consumers must see via ReportVersion.
+func TestReportRoundTrip(t *testing.T) {
+	l, err := NewLoader("testdata/mutexguard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &Driver{Loader: l, Analyzers: []*Analyzer{MutexGuard}}
+	results, err := drv.Run([]string{"peoplesnet/internal/fed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(l.Fset, []*Analyzer{MutexGuard}, results, l.ModuleRoot)
+	if rep.Version != ReportVersion {
+		t.Errorf("report version %d, want %d", rep.Version, ReportVersion)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("fixture run produced no findings to round-trip")
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding on the wire: %+v", f)
+		}
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report did not survive the round trip:\n got %+v\nwant %+v", back, rep)
+	}
+
+	// Wire names are the contract; catch an accidental struct-tag edit.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "analyzers", "findings", "suppressions"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("top-level key %q missing from wire format: %s", key, data)
+		}
+	}
+	var rawFindings []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["findings"], &rawFindings); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "package", "file", "line", "column", "message"} {
+		if _, ok := rawFindings[0][key]; !ok {
+			t.Errorf("finding key %q missing from wire format", key)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+func TestLintAllowFixture(t *testing.T) {
+	// Determinism supplies the findings the allows claim to suppress;
+	// LintAllow audits the claims.
+	res := runFixtureAll(t, "lintallow", []*Analyzer{Determinism, LintAllow},
+		"peoplesnet/internal/simnet",
+	)
+	if len(res.Suppressions) != 1 {
+		t.Errorf("lintallow fixture expects 1 suppression (the sanctioned clock read), got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 3 {
+		t.Errorf("lintallow fixture expects 3 findings (stale, malformed, unknown analyzer), got %d", len(res.Diagnostics))
+	}
+}
+
+// TestLintAllowStaleNeedsAnalyzerRun pins the subset-run contract: the
+// staleness audit only judges allows whose analyzer actually ran, so a
+// lintallow-only run over the fixture reports the malformed and
+// unknown comments but leaves the (stale) determinism allow alone.
+func TestLintAllowStaleNeedsAnalyzerRun(t *testing.T) {
+	// Raw Run, not runFixture: the want comments assume the full pair
+	// of analyzers, and this test deliberately runs a subset.
+	l, err := NewLoader("testdata/lintallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("peoplesnet/internal/simnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pkg, []*Analyzer{LintAllow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressions) != 0 {
+		t.Errorf("lintallow-only run should suppress nothing, got %d", len(res.Suppressions))
+	}
+	if len(res.Diagnostics) != 2 {
+		t.Errorf("lintallow-only run expects 2 findings (malformed, unknown analyzer), got %d: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+}

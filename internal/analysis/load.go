@@ -35,10 +35,15 @@ type Loader struct {
 	ModulePath string
 
 	std types.ImporterFrom
+	// stdMu serializes the toolchain's source importer: it keeps its
+	// own cache with no lock, so the parallel driver must not let two
+	// packages pull an uncached stdlib dependency at once.
+	stdMu sync.Mutex
 
 	mu      sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
+	parsed  map[string][]*ast.File // per-dir AST cache, shared by graph build and type-check
 }
 
 // NewLoader builds a loader rooted at the module containing dir (the
@@ -69,6 +74,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		parsed:     make(map[string][]*ast.File),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
@@ -102,6 +108,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
@@ -199,8 +207,17 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses every non-test Go file in dir.
+// parseDir parses every non-test Go file in dir, caching the result
+// so the import-graph build and the type-check phase parse each file
+// once. token.FileSet is internally locked, so concurrent parses of
+// different directories are safe.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	l.mu.Lock()
+	if files, ok := l.parsed[dir]; ok {
+		l.mu.Unlock()
+		return files, nil
+	}
+	l.mu.Unlock()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -220,7 +237,36 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		}
 		files = append(files, f)
 	}
+	l.mu.Lock()
+	l.parsed[dir] = files
+	l.mu.Unlock()
 	return files, nil
+}
+
+// ModuleImports parses (without type-checking) the package at
+// importPath and returns its module-internal imports — the syntactic
+// dependency edges the driver schedules fact propagation by.
+func (l *Loader) ModuleImports(importPath string) ([]string, error) {
+	files, err := l.parseDir(l.dirFor(importPath))
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+				continue
+			}
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // Packages enumerates the import paths of every package under the

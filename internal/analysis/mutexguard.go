@@ -2,29 +2,51 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
 )
 
-// MutexGuard enforces the `// guarded by mu` field annotation: a
-// struct field whose comment names its guard may only be touched
-// inside a function that visibly acquires that guard (a Lock or RLock
-// call on a mutex of that name anywhere in the body) or that declares
-// the caller holds it by the *Locked naming convention. The check is
-// deliberately a heuristic — it keys on the guard's field name, not a
-// lock-set analysis — but it catches the common regression: a new
-// accessor reading shared state with no locking at all.
+// MutexGuard enforces the `// guarded by mu` field annotation with a
+// cross-function lock analysis. A function that touches a guarded
+// field is in the clear when it visibly acquires the guard itself (a
+// Lock or RLock call on a mutex of that name anywhere in the body).
+// Otherwise it *requires* the guard from its caller, and the pass
+// shifts enforcement to the call sites:
+//
+//   - an unexported helper (or a *Locked-named function) that touches
+//     guarded state lock-free exports a "requires mu" fact; every
+//     static call to it — in this package or, via facts, in any
+//     dependent package — must come from a function that holds the
+//     guard or itself requires it. The *Locked naming convention is
+//     now documentation plus propagation marker, not the proof.
+//   - a call to a requiring function from a function that neither
+//     holds nor requires the guard is the cross-function lock leak
+//     v1 could not see, and is flagged at the call site.
+//   - an exported, non-*Locked function must self-lock: public API
+//     surface cannot demand an unstated lock, so its lock-free
+//     guarded access is flagged at the access, as before.
+//   - an unexported helper nothing in the package references cannot
+//     be vouched for by any call site and is flagged at the access.
+//
+// The analysis keys on guard names, not lock identity, and cannot see
+// interface-dispatched calls — both deliberate: it catches the common
+// regression (shared state with no locking in sight) without a full
+// lock-set engine.
 //
 // Composite literals don't count as access: construction happens
 // before the value is shared, which is exactly when lock-free
 // initialization is correct.
 var MutexGuard = &Analyzer{
 	Name: "mutexguard",
-	Doc: "require fields annotated `// guarded by mu` to be accessed only in\n" +
-		"functions that acquire a guard of that name (or are *Locked by\n" +
-		"convention); shared state touched with no lock in sight is a data\n" +
-		"race waiting for a scheduler change.",
+	Doc: "require fields annotated `// guarded by mu` to be accessed under a\n" +
+		"guard of that name, where \"under\" is interprocedural: helpers may\n" +
+		"leave locking to their callers, and every static call site of such a\n" +
+		"helper — across packages, via facts — must hold the guard. Shared\n" +
+		"state touched with no lock on any path is a data race waiting for a\n" +
+		"scheduler change.",
 	Run: runMutexGuard,
 }
 
@@ -33,9 +55,59 @@ var MutexGuard = &Analyzer{
 // since that is the name a Lock call selects.
 var guardRe = regexp.MustCompile(`guarded by (?:\w+\.)*(\w+)`)
 
+// guardedFieldFact marks a struct field as guarded, so accesses to an
+// exported annotated field from another package resolve back to the
+// annotation.
+type guardedFieldFact struct {
+	Guard string
+}
+
+func (*guardedFieldFact) AFact() {}
+
+// mutexReqFact is a function's lock precondition: the guards its body
+// (or a callee's) touches without acquiring, which its callers must
+// therefore hold.
+type mutexReqFact struct {
+	Guards []string
+}
+
+func (*mutexReqFact) AFact() {}
+
+// mgFunc is one function's view of the lock analysis.
+type mgFunc struct {
+	decl     *ast.FuncDecl
+	obj      *types.Func
+	acquired map[string]bool
+	// direct maps each guard the body touches lock-free to the first
+	// offending access (for access-site diagnostics).
+	direct map[string]token.Pos
+	// requires is direct plus, for propagators, guards required by
+	// callees; settled by fixpoint.
+	requires map[string]bool
+	// calls are the static call sites, judged after the fixpoint.
+	calls []mgCall
+	// refs counts same-package references to this function from other
+	// functions (calls or method values).
+	refs int
+}
+
+type mgCall struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// propagator reports whether fn may pass a lock requirement to its
+// own callers instead of being flagged: unexported helpers and
+// *Locked-named functions. Exported, non-*Locked functions are API
+// surface and must self-lock.
+func propagator(fn *types.Func) bool {
+	return !fn.Exported() || strings.HasSuffix(fn.Name(), "Locked")
+}
+
 func runMutexGuard(pass *Pass) error {
 	// Pass 1: collect annotated fields, keyed by their type object so
-	// every use site resolves back to the annotation.
+	// every use site resolves back to the annotation, and exported as
+	// facts so dependent packages resolve them too.
 	guarded := make(map[*types.Var]string)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -58,47 +130,187 @@ func runMutexGuard(pass *Pass) error {
 				for _, name := range fld.Names {
 					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
 						guarded[obj] = m[1]
+						pass.ExportObjectFact(obj, &guardedFieldFact{Guard: m[1]})
 					}
 				}
 			}
 			return true
 		})
 	}
-	if len(guarded) == 0 {
-		return nil
+
+	// guardOf resolves a field to its guard: this package's
+	// annotations, or a fact from the field's home package.
+	guardOf := func(obj *types.Var) (string, bool) {
+		if g, ok := guarded[obj]; ok {
+			return g, true
+		}
+		var f guardedFieldFact
+		if pass.ImportObjectFact(obj, &f) {
+			return f.Guard, true
+		}
+		return "", false
 	}
 
+	// Pass 2: per function, collect acquired guards, lock-free guarded
+	// accesses, and static call sites.
+	var fns []*mgFunc
+	byObj := make(map[*types.Func]*mgFunc)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			// The *Locked suffix is the repo's "caller holds the lock"
-			// convention; such helpers are checked at their call sites'
-			// functions, not here.
-			if strings.HasSuffix(fn.Name.Name, "Locked") {
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
 				continue
 			}
-			locked := lockedGuards(fn.Body)
+			mf := &mgFunc{
+				decl:     fn,
+				obj:      obj,
+				acquired: lockedGuards(fn.Body),
+				direct:   make(map[string]token.Pos),
+				requires: make(map[string]bool),
+			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if callee := staticCallee(pass, node); callee != nil {
+						mf.calls = append(mf.calls, mgCall{callee: callee, pos: node.Pos()})
+					}
+				case *ast.SelectorExpr:
+					obj, ok := pass.TypesInfo.Uses[node.Sel].(*types.Var)
+					if !ok || !obj.IsField() {
+						return true
+					}
+					guard, ok := guardOf(obj)
+					if !ok || mf.acquired[guard] {
+						return true
+					}
+					if _, seen := mf.direct[guard]; !seen {
+						mf.direct[guard] = node.Sel.Pos()
+					}
+					mf.requires[guard] = true
 				}
-				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
-				if !ok || !obj.IsField() {
-					return true
-				}
-				guard, ok := guarded[obj]
-				if !ok || locked[guard] {
-					return true
-				}
-				pass.Reportf(sel.Sel.Pos(),
-					"field %s is guarded by %s, but %s never acquires it; lock %s, or rename the function *Locked if the caller holds it",
-					sel.Sel.Name, guard, fn.Name.Name, guard)
 				return true
 			})
+			fns = append(fns, mf)
+			byObj[obj] = mf
+		}
+	}
+
+	// Count same-package references so a helper nobody calls cannot be
+	// silently exempt: its hypothetical call sites can't vouch for it.
+	for _, mf := range fns {
+		ast.Inspect(mf.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if target, ok := byObj[callee]; ok && target != mf {
+				target.refs++
+			}
+			return true
+		})
+	}
+
+	// requiresOf resolves a callee's lock precondition: local fixpoint
+	// state for this package, facts for dependencies. Only propagators
+	// push requirements onto callers — an exported non-*Locked
+	// function with lock-free access is flagged at its own access
+	// site, and blaming its callers too would be noise.
+	requiresOf := func(callee *types.Func) []string {
+		if local, ok := byObj[callee]; ok {
+			if !propagator(callee) {
+				return nil
+			}
+			out := make([]string, 0, len(local.requires))
+			for g := range local.requires {
+				out = append(out, g)
+			}
+			sort.Strings(out)
+			return out
+		}
+		var f mutexReqFact
+		if pass.ImportObjectFact(callee, &f) {
+			return f.Guards
+		}
+		return nil
+	}
+
+	// Pass 3: fixpoint. A propagator calling a requiring function
+	// without the guard inherits the requirement; iteration settles
+	// chains and same-package recursion.
+	for changed := true; changed; {
+		changed = false
+		for _, mf := range fns {
+			if !propagator(mf.obj) {
+				continue
+			}
+			for _, c := range mf.calls {
+				for _, g := range requiresOf(c.callee) {
+					if !mf.acquired[g] && !mf.requires[g] {
+						mf.requires[g] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 4: diagnostics and facts.
+	for _, mf := range fns {
+		name := mf.obj.Name()
+		locked := strings.HasSuffix(name, "Locked")
+
+		// Access-site findings: exported non-*Locked API must
+		// self-lock; an unreferenced unexported helper has no call
+		// sites to vouch for it.
+		guards := make([]string, 0, len(mf.direct))
+		for g := range mf.direct {
+			guards = append(guards, g)
+		}
+		sort.Strings(guards)
+		for _, g := range guards {
+			switch {
+			case locked:
+				// Declared contract; call sites are judged instead.
+			case mf.obj.Exported():
+				pass.Reportf(mf.direct[g],
+					"field access is guarded by %s, but exported %s never acquires it; exported API must lock for itself",
+					g, name)
+			case mf.refs == 0:
+				pass.Reportf(mf.direct[g],
+					"field access is guarded by %s, but %s never acquires it and nothing in the package calls it; lock %s here",
+					g, name, g)
+			}
+		}
+
+		// Call-site findings: a call into a requiring function from a
+		// function that neither holds nor (as a propagator) inherits
+		// the guard is a cross-function lock leak.
+		for _, c := range mf.calls {
+			for _, g := range requiresOf(c.callee) {
+				if !mf.acquired[g] && !mf.requires[g] {
+					pass.Reportf(c.pos,
+						"%s requires its caller to hold %s (it touches state guarded by %s), but %s never acquires it",
+						c.callee.Name(), g, g, name)
+				}
+			}
+		}
+
+		// Export the settled precondition for dependent packages.
+		if len(mf.requires) > 0 && propagator(mf.obj) {
+			out := make([]string, 0, len(mf.requires))
+			for g := range mf.requires {
+				out = append(out, g)
+			}
+			sort.Strings(out)
+			pass.ExportObjectFact(mf.obj, &mutexReqFact{Guards: out})
 		}
 	}
 	return nil

@@ -3,13 +3,16 @@ package analysis
 import "testing"
 
 func TestMutexGuardFixture(t *testing.T) {
+	// etl is listed first: fed's cross-package wants depend on the
+	// guarded-field and lock-requirement facts etl's analysis exports.
 	res := runFixture(t, "mutexguard", MutexGuard,
+		"peoplesnet/internal/etl",
 		"peoplesnet/internal/fed",
 	)
 	if len(res.Suppressions) != 0 {
 		t.Errorf("mutexguard fixture expects no suppressions, got %d", len(res.Suppressions))
 	}
-	if len(res.Diagnostics) != 3 {
-		t.Errorf("mutexguard fixture expects 3 findings (err read, seq write, cross-struct read), got %d", len(res.Diagnostics))
+	if len(res.Diagnostics) != 6 {
+		t.Errorf("mutexguard fixture expects 6 findings (err read, seq write, cross-struct read, bare bumpLocked call, bare cross-package FlushLocked call, cross-package Rows read), got %d", len(res.Diagnostics))
 	}
 }

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, fset *token.FileSet, name, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return f
+}
+
+var knownForTest = map[string]bool{"determinism": true, "tickerstop": true}
+
+func TestParseAllowsErrorPaths(t *testing.T) {
+	const src = `package p
+
+//lint:allow determinism -- a sanctioned boundary
+var a = 1
+
+//lint:allow determinism
+var b = 2
+
+//lint:allow determinism no separator before the reason
+var c = 3
+
+//lint:allow determinism --
+var d = 4
+
+//lint:allow cosmicrays -- no such pass
+var e = 5
+`
+	fset := token.NewFileSet()
+	f := parseSrc(t, fset, "allow.go", src)
+	sites, bad := parseAllows(fset, []*ast.File{f}, knownForTest)
+
+	if len(sites) != 1 {
+		t.Fatalf("want 1 well-formed allow, got %d", len(sites))
+	}
+	if sites[0].analyzer != "determinism" || sites[0].reason != "a sanctioned boundary" {
+		t.Errorf("well-formed allow parsed as %+v", sites[0])
+	}
+	if len(bad) != 4 {
+		t.Fatalf("want 4 malformed/unknown findings, got %d: %v", len(bad), bad)
+	}
+	for _, d := range bad[:3] {
+		if !strings.Contains(d.Message, "malformed suppression") {
+			t.Errorf("expected malformed-suppression finding, got %q", d.Message)
+		}
+		if d.Analyzer != "lintallow" {
+			t.Errorf("allow findings must carry the lintallow analyzer, got %q", d.Analyzer)
+		}
+	}
+	if !strings.Contains(bad[3].Message, `unknown analyzer "cosmicrays"`) {
+		t.Errorf("expected unknown-analyzer finding, got %q", bad[3].Message)
+	}
+}
+
+func TestAllowedPlacement(t *testing.T) {
+	const src = `package p
+
+//lint:allow determinism -- standalone, covers the next line
+var a = 1
+var b = 2 //lint:allow tickerstop -- trailing, covers its own line
+var c = 3
+`
+	fset := token.NewFileSet()
+	f := parseSrc(t, fset, "place.go", src)
+	other := parseSrc(t, fset, "other.go", src)
+	allows, bad := parseAllows(fset, []*ast.File{f}, knownForTest)
+	if len(bad) != 0 || len(allows) != 2 {
+		t.Fatalf("setup: want 2 allows and no findings, got %d/%d", len(allows), len(bad))
+	}
+
+	at := func(file *ast.File, line int) token.Pos {
+		return fset.File(file.Pos()).LineStart(line)
+	}
+	cases := []struct {
+		name     string
+		d        Diagnostic
+		wantHit  bool
+		wantWhom string // analyzer of the matching site
+	}{
+		{"line below standalone", Diagnostic{Pos: at(f, 4), Analyzer: "determinism"}, true, "determinism"},
+		{"same line as standalone", Diagnostic{Pos: at(f, 3), Analyzer: "determinism"}, true, "determinism"},
+		{"two lines below standalone", Diagnostic{Pos: at(f, 5), Analyzer: "determinism"}, false, ""},
+		{"same line as trailing", Diagnostic{Pos: at(f, 5), Analyzer: "tickerstop"}, true, "tickerstop"},
+		{"line above trailing", Diagnostic{Pos: at(f, 4), Analyzer: "tickerstop"}, false, ""},
+		{"analyzer mismatch", Diagnostic{Pos: at(f, 4), Analyzer: "closecheck"}, false, ""},
+		{"other file, right line", Diagnostic{Pos: at(other, 4), Analyzer: "determinism"}, false, ""},
+	}
+	for _, tc := range cases {
+		site, ok := allowed(fset, allows, tc.d)
+		if ok != tc.wantHit {
+			t.Errorf("%s: allowed=%v, want %v", tc.name, ok, tc.wantHit)
+			continue
+		}
+		if ok && site.analyzer != tc.wantWhom {
+			t.Errorf("%s: matched %s allow, want %s", tc.name, site.analyzer, tc.wantWhom)
+		}
+	}
+}

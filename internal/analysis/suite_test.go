@@ -2,9 +2,10 @@ package analysis
 
 import "testing"
 
-// TestRepoLintsClean runs the full suite over the real module: the
-// tree must carry zero findings, and every suppression must belong to
-// a sanctioned real-time boundary. This is `make lint` as a test.
+// TestRepoLintsClean runs the full nine-analyzer suite over the real
+// module through the fact-propagating driver: the tree must carry
+// zero findings, and every suppression must belong to a sanctioned
+// boundary. This is `make lint` as a test.
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source")
@@ -20,23 +21,21 @@ func TestRepoLintsClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("expected the whole module, enumerated only %d packages: %v", len(paths), paths)
 	}
+	drv := &Driver{Loader: l, Analyzers: All()}
+	results, err := drv.Run(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
 	suppressions := 0
 	for _, path := range paths {
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Fatalf("load %s: %v", path, err)
-		}
-		res, err := Run(pkg, All())
-		if err != nil {
-			t.Fatal(err)
-		}
+		res := results[path]
 		for _, d := range res.Diagnostics {
 			t.Errorf("%s: [%s] %s", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
 		}
 		suppressions += len(res.Suppressions)
 	}
 	// The allowlist is part of the contract: growth beyond the known
-	// real-time boundaries should be a conscious, reviewed change.
+	// sanctioned sites should be a conscious, reviewed change.
 	const sanctioned = 1 // p2p SystemClock.Now
 	if suppressions != sanctioned {
 		t.Errorf("module carries %d suppressions, want %d; run `make lint-fix-scan` and review", suppressions, sanctioned)

@@ -1,0 +1,3 @@
+module peoplesnet
+
+go 1.24

@@ -1,0 +1,30 @@
+// Package core provides the callee side of the ctxflow fixture's
+// interprocedural cases: one helper that honors its context and one
+// that drops it. Their "consumes" facts are what lets the fed package
+// be judged at all.
+package core
+
+import "context"
+
+// Await honors its context: consumption is direct.
+func Await(ctx context.Context, ch <-chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+// Drop accepts a context and ignores it — the classic bug this pass
+// exists for. Flagged here, and its exported fact (Consumes=false)
+// flags every caller that thought passing ctx was enough.
+func Drop(ctx context.Context, ch <-chan int) int { // want "Drop accepts ctx but never uses it"
+	return <-ch
+}
+
+// Quiet opts out the honest way: an unnamed parameter declares the
+// context is intentionally unused, so no finding.
+func Quiet(_ context.Context, n int) int {
+	return n + 1
+}

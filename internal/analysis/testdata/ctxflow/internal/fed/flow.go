@@ -1,0 +1,84 @@
+// Package fed exercises every ctxflow rule: parameter position,
+// struct storage, fresh-root shadowing, and — via core's facts —
+// hand-offs to callees that drop the context they were given.
+package fed
+
+import (
+	"context"
+
+	"peoplesnet/internal/core"
+)
+
+// router stashes a context in a field: cancellation detached from any
+// call. Flagged at the field.
+type router struct {
+	ctx context.Context // want "do not store context.Context in a struct field"
+	n   int
+}
+
+// misordered buries the context mid-signature: flagged.
+func misordered(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	<-ctx.Done()
+	return nil
+}
+
+// freshRoot has a perfectly good ctx and starts over anyway: the
+// timeout it sets is attached to nothing the caller can cancel.
+func freshRoot(ctx context.Context, ch <-chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	qctx, cancel := context.WithTimeout(context.Background(), 0) // want "derive from it instead of starting a fresh context.Background"
+	defer cancel()
+	return core.Await(qctx, ch)
+}
+
+// deadDrop accepts a ctx and never touches it: flagged.
+func deadDrop(ctx context.Context, n int) int { // want "deadDrop accepts ctx but never uses it"
+	return n * 2
+}
+
+// handoffToDropper passes ctx only to core.Drop, which core's
+// exported fact says discards it; the context still reaches no
+// cancellation check, and only the fact can prove that here.
+func handoffToDropper(ctx context.Context, ch <-chan int) int { // want "ctx never reaches a cancellation check in handoffToDropper"
+	return core.Drop(ctx, ch)
+}
+
+// handoffToAwaiter hands ctx to a consuming callee: fine.
+func handoffToAwaiter(ctx context.Context, ch <-chan int) int {
+	return core.Await(ctx, ch)
+}
+
+// relay → ignore is the same dead end within one package: the
+// fixpoint settles ignore first, then convicts relay.
+func relay(ctx context.Context, n int) int { // want "ctx never reaches a cancellation check in relay"
+	return ignore(ctx, n)
+}
+
+func ignore(ctx context.Context, n int) int { // want "ignore accepts ctx but never uses it"
+	return n + 1
+}
+
+// chain → leaf consumes transitively through two local hops: fine.
+func chain(ctx context.Context, ch <-chan int) int {
+	return leaf(ctx, ch)
+}
+
+func leaf(ctx context.Context, ch <-chan int) int {
+	return core.Await(ctx, ch)
+}
+
+// derived wraps the incoming ctx before handing it on: deriving is
+// consumption (the child carries the parent's cancellation).
+func derived(ctx context.Context, ch <-chan int) int {
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return core.Await(qctx, ch)
+}
+
+// external hands ctx to the standard library, which is assumed to
+// honor it: fine.
+func external(ctx context.Context) error {
+	return ctx.Err()
+}

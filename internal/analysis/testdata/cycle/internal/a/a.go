@@ -1,0 +1,9 @@
+// Package a imports b, which imports a: the driver must refuse the
+// schedule rather than deadlock. (The cycle means this module can
+// never type-check; the driver's graph build is purely syntactic, so
+// it sees the cycle first.)
+package a
+
+import "peoplesnet/internal/b"
+
+var V = b.V

@@ -1,0 +1,6 @@
+// Package b closes the import cycle with a.
+package b
+
+import "peoplesnet/internal/a"
+
+var V = a.V

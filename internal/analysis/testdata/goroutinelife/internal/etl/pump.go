@@ -1,0 +1,41 @@
+// Package etl provides spawn targets for the goroutinelife fixture's
+// cross-package cases: the verdicts computed here travel to the fed
+// package as facts, which is the only way its spawn sites can be
+// judged.
+package etl
+
+import "context"
+
+// PumpForever loops with no shutdown signal: a goroutine running it
+// can never be stopped. The verdict is exported as a fact; the
+// finding lands at the spawn site in the fed package.
+func PumpForever(ch chan<- int) {
+	n := 0
+	for {
+		n++
+		ch <- n
+	}
+}
+
+// Worker drains until its context is cancelled: provable shutdown.
+func Worker(ctx context.Context, ch <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// Drain ranges over its channel and exits when the sender closes it.
+func Drain(ch <-chan int) {
+	for range ch {
+	}
+}
+
+// spawnsLocally is a same-package spawn of a bad target: flagged here,
+// no fact needed.
+func spawnsLocally(ch chan<- int) {
+	go PumpForever(ch) // want "goroutine runs PumpForever, which has no provable shutdown path"
+}

@@ -1,0 +1,113 @@
+// Package fed mirrors the real federated tier's spawn sites: ingest
+// loops, watchdogs, and fan-out workers, some disciplined and some
+// orphaned. The cross-package cases judge etl functions purely by
+// their exported facts.
+package fed
+
+import (
+	"context"
+	"sync"
+
+	"peoplesnet/internal/etl"
+)
+
+type node struct {
+	done chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// run announces its exit by closing done: the supervisor joins on it.
+func (n *node) run(src <-chan int) {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-src:
+		}
+	}
+}
+
+// start spawns the disciplined ingest loop: no finding.
+func (n *node) start(src <-chan int) {
+	go n.run(src)
+}
+
+// watch selects on the stop channel: provable shutdown.
+func (n *node) watch() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// supervise spawns joined watchdogs: no finding.
+func (n *node) supervise() {
+	n.wg.Add(1)
+	go n.watch()
+}
+
+// fanOut spawns bounded workers that drain a closed channel — both
+// shapes terminate without an explicit signal.
+func fanOut(jobs chan int, results chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			results <- j
+		}
+	}()
+	go func() {
+		results <- 0
+	}()
+	wg.Wait()
+}
+
+// leakLiteral spawns an inline loop with no signal: flagged.
+func leakLiteral(src <-chan int) {
+	go func() { // want "goroutine has no provable shutdown path"
+		total := 0
+		for {
+			total += <-src
+		}
+	}()
+}
+
+// leakCrossPackage spawns an etl function whose body this package
+// cannot see; the finding exists only because etl's analysis exported
+// PumpForever's verdict as a fact.
+func leakCrossPackage(ch chan int) {
+	go etl.PumpForever(ch) // want "goroutine runs PumpForever, which has no provable shutdown path"
+}
+
+// wrapCrossPackage hides the bad spawn behind a bounded wrapper
+// literal: the wrapper terminates only if PumpForever does, which the
+// imported fact says it never will.
+func wrapCrossPackage(ch chan int) {
+	go func() { // want "goroutine calls PumpForever, which has no provable shutdown path"
+		etl.PumpForever(ch)
+	}()
+}
+
+// goodCrossPackage spawns the ctx-disciplined etl worker: its fact
+// says shutdown is provable, so no finding.
+func goodCrossPackage(ctx context.Context, ch chan int) {
+	go etl.Worker(ctx, ch)
+	go etl.Drain(ch)
+}
+
+// sanctioned documents a deliberate fire-and-forget with the audited
+// escape hatch.
+func sanctioned(src <-chan int) {
+	//lint:allow goroutinelife -- fixture: deliberate orphan to exercise the suppression path
+	go func() {
+		for {
+			<-src
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+// Package geo is outside the long-lived set: its one-shot raster
+// helpers may spawn without shutdown proofs, and the pass must stay
+// quiet here even though the same shape is flagged in fed.
+package geo
+
+func spin(src <-chan int) {
+	go func() {
+		for {
+			<-src
+		}
+	}()
+}

@@ -1,0 +1,35 @@
+// Package simnet exercises the lintallow audit pass: a used
+// suppression survives, a stale one is flagged, and malformed or
+// unknown-analyzer comments are findings in their own right.
+package simnet
+
+import "time"
+
+// bootStamp is a sanctioned real-time boundary: the allow matches the
+// determinism finding on its line, so both stay silent.
+func bootStamp() int64 {
+	return time.Now().Unix() //lint:allow determinism -- fixture: sanctioned real-time boundary
+}
+
+// seeded is deterministic already; the allow above it suppresses
+// nothing and the audit pass flags it.
+func seeded(seed int64) int64 {
+	//lint:allow determinism -- fixture: stale, the clock read was removed // want "matches no determinism finding here"
+	return seed * 2654435761
+}
+
+// Malformed: no "-- reason" separator, so the escape hatch is
+// unauditable and the comment itself is the finding.
+//
+//lint:allow determinism because reasons // want "malformed suppression"
+func opaque() int {
+	return 1
+}
+
+// Unknown analyzer name: a typo here would otherwise fail open
+// forever.
+//
+//lint:allow cosmicrays -- fixture: no such pass // want "unknown analyzer \"cosmicrays\""
+func mistyped() int {
+	return 2
+}

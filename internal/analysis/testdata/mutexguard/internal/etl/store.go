@@ -1,0 +1,28 @@
+// Package etl is the dependency side of the mutexguard fixture's
+// cross-package cases: an exported guarded field and a *Locked method
+// whose lock precondition travels to importers as facts.
+package etl
+
+import "sync"
+
+// Store shares rows across goroutines; Mu guards them.
+type Store struct {
+	Mu   sync.Mutex
+	Rows map[string]int // guarded by Mu
+}
+
+// FlushLocked touches Rows lock-free by contract: the exported
+// mutexReqFact obliges every caller — here or in a dependent package —
+// to hold Mu.
+func (s *Store) FlushLocked() {
+	for k := range s.Rows {
+		delete(s.Rows, k)
+	}
+}
+
+// Flush is the self-locking public entry point.
+func (s *Store) Flush() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.FlushLocked()
+}

@@ -4,7 +4,11 @@
 // construction.
 package fed
 
-import "sync"
+import (
+	"sync"
+
+	"peoplesnet/internal/etl"
+)
 
 type node struct {
 	mu  sync.RWMutex
@@ -60,4 +64,42 @@ func (t *tail) close() {
 
 func (t *tail) isClosed() bool {
 	return t.closed // want "guarded by mu"
+}
+
+// bumpLocked leaves locking to its callers; each call site below is
+// judged against that requirement.
+func (n *node) bumpLocked(k string) {
+	n.seq[k]++
+}
+
+// BumpSafe holds the guard across the helper call: no finding.
+func (n *node) BumpSafe(k string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bumpLocked(k)
+}
+
+// BumpRacy calls the requiring helper bare — the cross-function lock
+// leak v1's naming heuristic could never see.
+func (n *node) BumpRacy(k string) {
+	n.bumpLocked(k) // want "bumpLocked requires its caller to hold mu"
+}
+
+// FlushClean satisfies etl.FlushLocked's imported precondition.
+func FlushClean(s *etl.Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.FlushLocked()
+}
+
+// FlushDirty violates it; the fact exported by the etl package is the
+// only evidence this call is a race.
+func FlushDirty(s *etl.Store) {
+	s.FlushLocked() // want "FlushLocked requires its caller to hold Mu"
+}
+
+// PeekDirty touches a field whose guard annotation lives in another
+// package, resolved via the guarded-field fact.
+func PeekDirty(s *etl.Store) int {
+	return s.Rows["x"] // want "field access is guarded by Mu, but exported PeekDirty never acquires it"
 }

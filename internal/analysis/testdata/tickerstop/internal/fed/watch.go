@@ -99,6 +99,32 @@ func drain(t *time.Timer) {
 	<-t.C
 }
 
+// fireAndForget drops the AfterFunc handle: the callback can never be
+// cancelled, so a shutdown after d fires stale work. Flagged.
+func fireAndForget(d time.Duration, f func()) {
+	time.AfterFunc(d, f) // want "result of time\.AfterFunc is discarded without a Stop"
+}
+
+// armedButAbandoned binds the handle and still never stops it: same
+// leak, different spelling. Flagged.
+func armedButAbandoned(d time.Duration, f func()) {
+	reaper := time.AfterFunc(d, f) // want "timer reaper is never stopped in armedButAbandoned"
+	_ = reaper
+}
+
+// cancellable keeps the handle and stops it on the early exit: the
+// disciplined AfterFunc shape, no diagnostic.
+func cancellable(d time.Duration, f func(), done chan struct{}) {
+	reaper := time.AfterFunc(d, f)
+	defer reaper.Stop()
+	<-done
+}
+
+// scheduled hands the timer to the caller, who owns the Stop.
+func scheduled(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(d, f)
+}
+
 // stoppedLater stops the ticker on the shutdown path rather than with
 // a defer; a Stop anywhere in the body counts.
 func stoppedLater(interval time.Duration, done chan struct{}) {

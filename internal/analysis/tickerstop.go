@@ -17,27 +17,31 @@ import (
 // escapes the function (returned, passed to a call, stored in a
 // struct field) is someone else's to stop and is not flagged. A
 // handle that stays local — or is discarded outright, including the
-// irredeemable time.Tick — must be stopped here.
+// irredeemable time.Tick — must be stopped here. time.AfterFunc is
+// held to the same bar: a dropped handle means the timer (and its
+// callback) cannot be cancelled on shutdown.
 var TickerStop = &Analyzer{
 	Name: "tickerstop",
-	Doc: "require time.Tickers and time.Timers created in a function to be\n" +
-		"stopped in that function (a deferred Stop counts) unless the handle\n" +
-		"escapes; an unstopped ticker in a long-lived goroutine leaks its\n" +
-		"channel and wakeups for the life of the process. time.Tick is\n" +
-		"always flagged: its ticker can never be stopped.",
+	Doc: "require time.Tickers and time.Timers created in a function (NewTicker,\n" +
+		"NewTimer, AfterFunc) to be stopped in that function (a deferred Stop\n" +
+		"counts) unless the handle escapes; an unstopped ticker in a\n" +
+		"long-lived goroutine leaks its channel and wakeups for the life of\n" +
+		"the process, and a dropped AfterFunc handle is a callback nothing\n" +
+		"can cancel. time.Tick is always flagged: its ticker can never be\n" +
+		"stopped.",
 	Run: runTickerStop,
 }
 
-// timeConstructor reports whether call is time.NewTicker, time.NewTimer,
-// or time.Tick, resolved through the type info so a local package named
-// `time` cannot spoof it.
+// timeConstructor reports whether call is time.NewTicker,
+// time.NewTimer, time.AfterFunc, or time.Tick, resolved through the
+// type info so a local package named `time` cannot spoof it.
 func timeConstructor(pass *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	switch sel.Sel.Name {
-	case "NewTicker", "NewTimer", "Tick":
+	case "NewTicker", "NewTimer", "AfterFunc", "Tick":
 	default:
 		return "", false
 	}
@@ -176,7 +180,7 @@ func checkTickerStop(pass *Pass, fn *ast.FuncDecl) {
 }
 
 func tickerKind(ctor string) string {
-	if ctor == "NewTimer" {
+	if ctor == "NewTimer" || ctor == "AfterFunc" {
 		return "timer"
 	}
 	return "ticker"

@@ -9,7 +9,7 @@ func TestTickerStopFixture(t *testing.T) {
 	if len(res.Suppressions) != 0 {
 		t.Errorf("tickerstop fixture expects no suppressions, got %d", len(res.Suppressions))
 	}
-	if len(res.Diagnostics) != 4 {
-		t.Errorf("tickerstop fixture expects 4 findings (leaky ticker, leaky timer, time.Tick, discard), got %d", len(res.Diagnostics))
+	if len(res.Diagnostics) != 6 {
+		t.Errorf("tickerstop fixture expects 6 findings (leaky ticker, leaky timer, time.Tick, discard, dropped AfterFunc, abandoned AfterFunc), got %d", len(res.Diagnostics))
 	}
 }
