@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed bench-mttr store-bench fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke chaos-smoke
+.PHONY: build test race bench bench-etl bench-json bench-trend bench-fed bench-mttr bench-live store-bench fmt vet lint lint-fix-scan check recovery fuzz-smoke fed-smoke chaos-smoke live-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ bench-json:
 bench-trend:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	./bin/benchjson -trend
+
+# Live materialized analytics: batch-refresh baseline vs per-block
+# incremental cost and snapshot cost (EXPERIMENTS.md "Streaming
+# Study"). Writes BENCH_<date>.json like bench-json, so the ns/block
+# and allocs/block metrics fall under the bench-trend gate.
+bench-live:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench 'BenchmarkMeasure$$|BenchmarkLiveStudy' -benchmem . | ./bin/benchjson -scale $${PEOPLESNET_BENCH_SCALE:-small}
 
 # Storage engine v2 numbers (EXPERIMENTS.md "Storage engine v2"):
 # postings compression ratio, cold-start time-to-first-query vs full
@@ -107,4 +115,11 @@ chaos-smoke:
 bench-mttr:
 	$(GO) run ./cmd/fedload -scale $${PEOPLESNET_BENCH_SCALE:-small} -mttr -trials 5
 
-check: fmt vet lint build race recovery fuzz-smoke fed-smoke chaos-smoke
+# Live-study smoke: the prefix-equivalence suite under the race
+# detector — the live fold must stay bit-identical to the batch
+# measurement at every height, through store tails and follower
+# retries.
+live-smoke:
+	$(GO) test -race -run 'TestLiveStudy' ./internal/live/
+
+check: fmt vet lint build race recovery fuzz-smoke fed-smoke chaos-smoke live-smoke

@@ -15,6 +15,7 @@ package peoplesnet
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"peoplesnet/internal/coverage"
 	"peoplesnet/internal/fieldtest"
 	"peoplesnet/internal/geo"
+	"peoplesnet/internal/live"
 	"peoplesnet/internal/p2p"
 	"peoplesnet/internal/poc"
 	"peoplesnet/internal/simnet"
@@ -706,6 +708,74 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------------------------------
+// Live materialized analytics (EXPERIMENTS.md "Streaming Study")
+
+// BenchmarkMeasure is the batch baseline: the cost of refreshing a
+// dashboard by re-running the full measurement suite — ETL re-index
+// included — as `peoplesnet.Measure` does. Compare its ns/op against
+// BenchmarkLiveStudy_PerBlock's ns/block: that ratio is how many
+// times cheaper staying current is than recomputing.
+func BenchmarkMeasure(b *testing.B) {
+	w, _ := world(b)
+	var s *Study
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = Measure(w)
+	}
+	b.StopTimer()
+	report(b, fmt.Sprintf("batch refresh: %d txns (notional) measured from scratch", s.Summary.TotalTxns))
+}
+
+// BenchmarkLiveStudy_PerBlock folds the whole cached world chain into
+// a live Study and reports the per-block update cost — the price the
+// incremental path pays per new block, O(txns in the block) instead
+// of O(chain). The ns/block and allocs/block metrics are gated by
+// `make bench-trend` like any size metric.
+func BenchmarkLiveStudy_PerBlock(b *testing.B) {
+	w, _ := world(b)
+	md := core.FromSimulation(w)
+	blocks := w.Chain.Blocks()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := live.New(live.Options{Meta: md.Meta, PoCWeight: md.PoCWeight})
+		for _, blk := range blocks {
+			st.ApplyBlock(blk)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	perBlock := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(blocks))
+	b.ReportMetric(perBlock, "ns/block")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N*len(blocks)), "allocs/block")
+	report(b, fmt.Sprintf("live fold: %d blocks at %.0f ns each", len(blocks), perBlock))
+}
+
+// BenchmarkLiveStudy_Snapshot materializes a consistent snapshot from
+// a fully-folded study: the cost a dashboard pays per render, which
+// must stay O(hotspots + owners), independent of chain length.
+func BenchmarkLiveStudy_Snapshot(b *testing.B) {
+	w, _ := world(b)
+	md := core.FromSimulation(w)
+	st := live.New(live.Options{Meta: md.Meta, PoCWeight: md.PoCWeight})
+	for _, blk := range w.Chain.Blocks() {
+		st.ApplyBlock(blk)
+	}
+	var sn live.Snapshot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn = st.Snapshot()
+	}
+	b.StopTimer()
+	report(b, fmt.Sprintf("snapshot at height %d: %d owners, %d txns (notional)",
+		sn.Height, sn.Ownership.Owners, sn.Summary.TotalTxns))
 }
 
 // ---------------------------------------------------------------------------

@@ -11,14 +11,16 @@ import (
 )
 
 // trend compares the two newest BENCH_*.json records in dir and
-// reports every benchmark whose ns/op — or any size metric
-// (store_B/block, postings_B, ...) — moved more than threshold in
-// either direction. Size metrics gate growth the way ns/op gates
-// slowdown, so a postings-compression regression fails the build just
-// like a latency one. It returns an error (the `make bench-trend`
-// gate fails) only for regressions; fewer than two records, or
-// records from different world scales, degrade to a notice — a gate
-// that cannot compare must not block.
+// reports every benchmark whose ns/op, allocs/op — or any size metric
+// (store_B/block, postings_B, ...) or cost metric (ns/block,
+// allocs/block, ...) — moved more than threshold in either direction.
+// Size and cost metrics gate growth the way ns/op gates slowdown, so
+// a postings-compression regression or a live-study per-block
+// allocation creep fails the build just like a latency one. It
+// returns an error (the `make bench-trend` gate fails) only for
+// regressions; fewer than two records, or records from different
+// world scales, degrade to a notice — a gate that cannot compare must
+// not block.
 func trend(w io.Writer, dir string, threshold float64) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
@@ -73,11 +75,15 @@ func trend(w io.Writer, dir string, threshold float64) error {
 		}
 		compared++
 		classify(b.Name, "ns/op", prev.NsPerOp, b.NsPerOp)
-		// Size metrics: lower is better, same threshold. Iterate in
-		// sorted unit order for deterministic output.
+		if prev.AllocsPerOp > 0 {
+			classify(b.Name+" [allocs/op]", "allocs/op",
+				float64(prev.AllocsPerOp), float64(b.AllocsPerOp))
+		}
+		// Size and cost metrics: lower is better, same threshold.
+		// Iterate in sorted unit order for deterministic output.
 		units := make([]string, 0, len(b.Metrics))
 		for unit := range b.Metrics {
-			if sizeMetric(unit) && prev.Metrics[unit] > 0 {
+			if (sizeMetric(unit) || costMetric(unit)) && prev.Metrics[unit] > 0 {
 				units = append(units, unit)
 			}
 		}
@@ -109,6 +115,14 @@ func benchKey(b Benchmark) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs)
 // bigger is better.
 func sizeMetric(unit string) bool {
 	return strings.HasSuffix(unit, "_B") || strings.Contains(unit, "_B/")
+}
+
+// costMetric reports whether a custom unit measures a per-item cost
+// (ns/block, allocs/block, ns/refresh, ...), where growth is a
+// regression exactly like ns/op. Throughput rates (MB/s, blocks/s)
+// grow when things improve and are never gated.
+func costMetric(unit string) bool {
+	return strings.HasPrefix(unit, "ns/") || strings.HasPrefix(unit, "allocs/")
 }
 
 func readRecord(path string) (*Record, error) {

@@ -128,6 +128,64 @@ func TestTrendGatesSizeMetrics(t *testing.T) {
 	}
 }
 
+// Allocs/op gates like ns/op: a benchmark that starts allocating 40%
+// more per op fails even when its wall clock held steady.
+func TestTrendGatesAllocs(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{
+		{Name: "Fold", Procs: 1, NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{
+		{Name: "Fold", Procs: 1, NsPerOp: 1000, AllocsPerOp: 140},
+	})
+	var buf strings.Builder
+	err := trend(&buf, dir, 0.20)
+	if err == nil {
+		t.Fatalf("trend passed a +40%% allocs/op regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION Fold [allocs/op]") {
+		t.Fatalf("allocs regression not named:\n%s", buf.String())
+	}
+
+	// Fewer allocations pass and report as an improvement.
+	writeRecord(t, dir, "2026-01-03", "small", []Benchmark{
+		{Name: "Fold", Procs: 1, NsPerOp: 1000, AllocsPerOp: 50},
+	})
+	buf.Reset()
+	if err := trend(&buf, dir, 0.20); err != nil {
+		t.Fatalf("allocs improvement failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "improved   Fold [allocs/op]") {
+		t.Fatalf("allocs improvement not reported:\n%s", buf.String())
+	}
+}
+
+// Cost metrics (ns/block, allocs/block from the live-study benchmarks)
+// gate growth like ns/op; rates still pass when they grow.
+func TestTrendGatesCostMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "2026-01-01", "small", []Benchmark{
+		{Name: "LiveStudy_PerBlock", Procs: 1, NsPerOp: 1000,
+			Metrics: map[string]float64{"ns/block": 20000, "allocs/block": 40, "blocks/s": 50000}},
+	})
+	writeRecord(t, dir, "2026-01-02", "small", []Benchmark{
+		{Name: "LiveStudy_PerBlock", Procs: 1, NsPerOp: 1000,
+			Metrics: map[string]float64{"ns/block": 30000, "allocs/block": 38, "blocks/s": 500000}},
+	})
+	var buf strings.Builder
+	err := trend(&buf, dir, 0.20)
+	if err == nil {
+		t.Fatalf("trend passed a +50%% ns/block regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION LiveStudy_PerBlock [ns/block]") {
+		t.Fatalf("cost regression not named:\n%s", out)
+	}
+	if strings.Contains(out, "blocks/s") {
+		t.Fatalf("rate metric treated as a cost:\n%s", out)
+	}
+}
+
 // Same name under a different GOMAXPROCS is a different measurement,
 // not a baseline for comparison.
 func TestTrendKeysOnProcs(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"peoplesnet"
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/core"
 	"peoplesnet/internal/etl"
@@ -68,7 +69,13 @@ func main() {
 		fmt.Printf("store: %s reloaded to height %d in %v, caught up to %d (%d/%d segments loaded, %d WAL blocks)\n",
 			*storeDir, reloaded, opened.Round(time.Millisecond), store.Height(),
 			h.SegmentsLoaded, h.Segments, h.WALDepth)
-		d.Chain = store.View()
+		// The open store is measured in place — MeasureStore never
+		// rebuilds an index the directory already holds.
+		study := peoplesnet.MeasureStoreWith(store, nil,
+			peoplesnet.MeasureOptions{ResaleTopN: 10, PoCWeight: *pocWeight})
+		printReport(c, study.Summary, study.Moves, study.Growth, study.Ownership,
+			study.Resale, study.Traffic, study.Audit)
+		return
 	case !*fullscan:
 		start := time.Now()
 		store := etl.FromChain(c)
@@ -79,28 +86,33 @@ func main() {
 		d.Chain = store.View()
 	}
 
-	s := d.SummarizeChain()
+	printReport(c, d.SummarizeChain(), d.AnalyzeMoves(), d.AnalyzeGrowth(),
+		d.AnalyzeOwnership(), d.AnalyzeResale(10), d.AnalyzeTraffic(),
+		d.AuditIncentives(1, 100))
+}
+
+// printReport renders the chain-derived analyses; both the store path
+// (measured via peoplesnet.MeasureStoreWith) and the scan paths feed
+// it the same value types.
+func printReport(c *chain.Chain, s core.ChainSummary, m core.MoveAnalysis,
+	g core.GrowthAnalysis, o core.OwnershipAnalysis, r core.ResaleAnalysis,
+	tr core.TrafficAnalysis, audit core.IncentiveAudit) {
 	fmt.Printf("chain: %d blocks to height %d, %d txns (notional), PoC %.2f%%\n",
 		len(c.Blocks()), c.Height(), s.TotalTxns, s.PoCFraction*100)
 
-	m := d.AnalyzeMoves()
 	fmt.Printf("moves: %d hotspots, never-moved %.1f%%, >500 km moves %d\n",
 		m.Hotspots, m.NeverMovedFrac*100, len(m.LongMoves))
 	fmt.Printf("       intervals: day %.1f%% / week %.1f%% / month %.1f%%\n",
 		m.WithinDayFrac*100, m.WithinWeekFrac*100, m.WithinMoFrac*100)
 
-	g := d.AnalyzeGrowth()
 	fmt.Printf("growth: %d adds total, %.0f/day at the end\n", g.Total, g.FinalRate)
 
-	o := d.AnalyzeOwnership()
 	fmt.Printf("owners: %d, own-1 %.1f%%, ≤3 %.1f%%, max %d\n",
 		o.Owners, o.OwnOneFrac*100, o.AtMostThree*100, o.MaxOwned)
 
-	r := d.AnalyzeResale(10)
 	fmt.Printf("resale: %d transfers over %d hotspots (%.1f%%), zero-DC %.1f%%\n",
 		r.TotalTransfers, r.TransferredHotspots, r.TransferredFrac*100, r.ZeroDCFrac*100)
 
-	tr := d.AnalyzeTraffic()
 	fmt.Printf("traffic: %d packets, console share %.1f%%, final %.2f pkt/s\n",
 		tr.TotalPackets, tr.ConsoleShare*100, tr.FinalPktPerSec)
 	if tr.SpikeStartBlock > 0 {
@@ -108,7 +120,6 @@ func main() {
 			tr.SpikeStartBlock, tr.SpikeEndBlock, tr.SpikePeak)
 	}
 
-	audit := d.AuditIncentives(1, 100)
 	fmt.Printf("audit: %d silent movers, %d lying witnesses, %d clique suspects\n",
 		len(audit.SilentMovers), len(audit.LyingWitness), len(audit.CliqueSuspects))
 	for i, sm := range audit.SilentMovers {

@@ -9,9 +9,14 @@
 //	GET /hotspots/{addr}  one hotspot
 //	GET /coverage         Fig 12 model percentages (JSON)
 //	GET /report           plain-text measurement report
+//	GET /study            live materialized analytics: the §3–§6 views
+//	                      maintained incrementally off the store tail,
+//	                      with staleness fields (height, store tip, lag)
+//	                      and trailing-window rates
 //	GET /etl              ETL store shape: segments, postings, rollups,
 //	                      store health (WAL depth, quarantine, ingest retries,
-//	                      last append), plus per-shard federation health, lag,
+//	                      last append), the live view's lag behind the tip,
+//	                      plus per-shard federation health, lag,
 //	                      and supervisor state (restarts, breaker)
 //	GET /txns             federated transaction search with cursor pagination
 //	                      (?type=payment&actor=<addr>&from=0&to=100&limit=50
@@ -49,6 +54,9 @@ type server struct {
 	world *peoplesnet.World
 	study *peoplesnet.Study
 	store *etl.Store
+	// live maintains the §3–§6 analyses as materialized views off the
+	// store's block tail; /study serves its snapshots and /etl its lag.
+	live *peoplesnet.LiveStudy
 	// follower is non-nil when the store is durable (-store): the live
 	// tail whose first ingest error /etl surfaces.
 	follower *etl.Follower
@@ -156,6 +164,74 @@ func (s *server) handleCoverageGeoJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"type": "FeatureCollection", "features": features})
 }
 
+// handleStudy serves the live materialized views: one consistent
+// snapshot of the incrementally-maintained §3–§6 analyses, plus the
+// staleness bookkeeping a dashboard needs to trust it. The core
+// analysis types carry unexported fold state, so the response is an
+// explicit digest rather than a raw marshal.
+func (s *server) handleStudy(w http.ResponseWriter, _ *http.Request) {
+	if s.live == nil {
+		http.Error(w, "live study not attached", http.StatusServiceUnavailable)
+		return
+	}
+	sn := s.live.Snapshot()
+	resp := map[string]any{
+		"height":       sn.Height,
+		"first_height": sn.FirstHeight,
+		"store_tip":    sn.StoreTip,
+		"lag_blocks":   sn.LagBlocks,
+		"blocks":       sn.Blocks,
+		"txns":         sn.Txns,
+		"apply_errs":   sn.ApplyErrs,
+		"summary": map[string]any{
+			"total_txns": sn.Summary.TotalTxns,
+			"poc_share":  sn.Summary.PoCFraction,
+		},
+		"moves": map[string]any{
+			"hotspots":         sn.Moves.Hotspots,
+			"never_moved_frac": sn.Moves.NeverMovedFrac,
+			"long_moves":       len(sn.Moves.LongMoves),
+			"within_day_frac":  sn.Moves.WithinDayFrac,
+			"within_week_frac": sn.Moves.WithinWeekFrac,
+			"within_mo_frac":   sn.Moves.WithinMoFrac,
+		},
+		"growth": map[string]any{
+			"total":      sn.Growth.Total,
+			"final_rate": sn.Growth.FinalRate,
+			"peak_daily": sn.Growth.PeakDaily,
+		},
+		"ownership": map[string]any{
+			"owners":        sn.Ownership.Owners,
+			"own_one_frac":  sn.Ownership.OwnOneFrac,
+			"at_most_three": sn.Ownership.AtMostThree,
+			"max_owned":     sn.Ownership.MaxOwned,
+			"bulk_owners":   len(sn.Ownership.Bulk),
+		},
+		"resale": map[string]any{
+			"total_transfers":      sn.Resale.TotalTransfers,
+			"transferred_hotspots": sn.Resale.TransferredHotspots,
+			"transferred_frac":     sn.Resale.TransferredFrac,
+			"zero_dc_frac":         sn.Resale.ZeroDCFrac,
+		},
+		"traffic": map[string]any{
+			"total_packets":  sn.Traffic.TotalPackets,
+			"console_share":  sn.Traffic.ConsoleShare,
+			"final_pkts_sec": sn.Traffic.FinalPktPerSec,
+		},
+		"window": map[string]any{
+			"days":      sn.Window.Days,
+			"tip_day":   sn.Window.TipDay,
+			"adds":      sn.Window.Adds,
+			"moves":     sn.Window.Moves,
+			"transfers": sn.Window.Transfers,
+		},
+	}
+	if err := s.live.Err(); err != nil {
+		resp["replica_error"] = err.Error()
+	}
+	writeJSON(w, resp)
+}
+
 func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
 	agg := s.store.Aggregates()
@@ -182,6 +258,12 @@ func (s *server) handleETL(w http.ResponseWriter, _ *http.Request) {
 	if s.follower != nil {
 		if err := s.follower.Err(); err != nil {
 			resp["follower_error"] = err.Error()
+		}
+	}
+	if s.live != nil {
+		resp["live_view"] = map[string]any{
+			"height":     s.live.Height(),
+			"lag_blocks": s.live.Lag(),
 		}
 	}
 	if s.cluster != nil {
@@ -375,7 +457,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{world: world, study: peoplesnet.Measure(world)}
+	s := &server{world: world}
 	if *storeDir != "" {
 		store, err := etl.Open(*storeDir, etl.Config{})
 		if err != nil {
@@ -386,11 +468,22 @@ func main() {
 		if err := store.Repair(world.Chain); err != nil {
 			log.Printf("store: repair: %v (serving with gaps; see /etl)", err)
 		}
+		// Catch the reloaded store up synchronously so the batch study
+		// below measures the full chain, then keep following for
+		// anything appended later.
+		if err := store.BulkLoad(world.Chain); err != nil {
+			log.Fatal("store: catch-up: ", err)
+		}
 		s.store = store
 		s.follower = store.FollowChain(world.Chain)
 	} else {
 		s.store = etl.FromChain(world.Chain)
 	}
+	// Both paths measure the store in place: the index is built (or
+	// reloaded) exactly once, never rebuilt just to render a report.
+	s.study = peoplesnet.MeasureStore(s.store, world)
+	s.live = peoplesnet.Live(s.store, world, peoplesnet.DefaultMeasureOptions())
+	defer s.live.Close()
 
 	cluster, err := buildCluster(world.Chain, *shards, *partition)
 	if err != nil {
@@ -407,11 +500,12 @@ func main() {
 	mux.HandleFunc("/coverage", s.handleCoverage)
 	mux.HandleFunc("/coverage.geojson", s.handleCoverageGeoJSON)
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/study", s.handleStudy)
 	mux.HandleFunc("/etl", s.handleETL)
 	mux.HandleFunc("/txns", s.handleTxns)
 	mux.HandleFunc("/tail", s.handleTail)
 
-	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report, etl, txns, tail)", *listen)
+	log.Printf("explorer listening on http://%s (stats, hotspots, coverage, report, study, etl, txns, tail)", *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }
 

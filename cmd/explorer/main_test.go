@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"peoplesnet"
 	"peoplesnet/internal/chain"
@@ -35,10 +36,12 @@ func testServer(t *testing.T) *server {
 			srvErr = err
 			return
 		}
+		store := etl.FromChain(world.Chain)
 		srv = &server{
 			world:   world,
-			study:   peoplesnet.Measure(world),
-			store:   etl.FromChain(world.Chain),
+			study:   peoplesnet.MeasureStore(store, world),
+			store:   store,
+			live:    peoplesnet.Live(store, world, peoplesnet.DefaultMeasureOptions()),
 			cluster: cluster,
 		}
 	})
@@ -55,6 +58,7 @@ func mux(s *server) *http.ServeMux {
 	m.HandleFunc("/hotspots/", s.handleHotspots)
 	m.HandleFunc("/coverage", s.handleCoverage)
 	m.HandleFunc("/report", s.handleReport)
+	m.HandleFunc("/study", s.handleStudy)
 	m.HandleFunc("/etl", s.handleETL)
 	m.HandleFunc("/txns", s.handleTxns)
 	m.HandleFunc("/tail", s.handleTail)
@@ -235,6 +239,93 @@ func TestTxnsFederatedPagination(t *testing.T) {
 		if walked[i] != want[i] {
 			t.Fatalf("page row %d = %+v, want %+v", i, walked[i], want[i])
 		}
+	}
+}
+
+// TestStudyEndpoint waits for the live study to catch the store tip,
+// then checks /study reports zero lag and headline numbers that agree
+// with the batch study served by /report.
+func TestStudyEndpoint(t *testing.T) {
+	s := testServer(t)
+	deadline := time.Now().Add(30 * time.Second)
+	for s.live.Lag() > 0 || s.live.Height() < s.world.Chain.Height() {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("live study stuck at height %d, store tip %d", s.live.Height(), s.store.Height())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts := httptest.NewServer(mux(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Height    int64 `json:"height"`
+		StoreTip  int64 `json:"store_tip"`
+		LagBlocks int64 `json:"lag_blocks"`
+		ApplyErrs int64 `json:"apply_errs"`
+		Summary   struct {
+			TotalTxns int64 `json:"total_txns"`
+		} `json:"summary"`
+		Growth struct {
+			Total int64 `json:"total"`
+		} `json:"growth"`
+		Ownership struct {
+			Owners int `json:"owners"`
+		} `json:"ownership"`
+		Window struct {
+			Days   int   `json:"days"`
+			TipDay int64 `json:"tip_day"`
+		} `json:"window"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	tip := s.world.Chain.Height()
+	if out.Height != tip || out.StoreTip != tip || out.LagBlocks != 0 {
+		t.Fatalf("staleness fields: height=%d store_tip=%d lag=%d, want all caught up to %d",
+			out.Height, out.StoreTip, out.LagBlocks, tip)
+	}
+	if out.ApplyErrs != 0 {
+		t.Fatalf("ledger replica rejected %d transactions", out.ApplyErrs)
+	}
+	// The live views must agree with the batch study at the same tip.
+	if out.Summary.TotalTxns != s.study.Summary.TotalTxns {
+		t.Fatalf("live total_txns %d != batch %d", out.Summary.TotalTxns, s.study.Summary.TotalTxns)
+	}
+	if out.Growth.Total != int64(s.study.Growth.Total) {
+		t.Fatalf("live growth total %d != batch %d", out.Growth.Total, s.study.Growth.Total)
+	}
+	if out.Ownership.Owners != s.study.Ownership.Owners {
+		t.Fatalf("live owners %d != batch %d", out.Ownership.Owners, s.study.Ownership.Owners)
+	}
+	if out.Window.Days != 30 || out.Window.TipDay != tip/chain.BlocksPerDay {
+		t.Fatalf("window meta = %+v, want 30 days at tip day %d", out.Window, tip/chain.BlocksPerDay)
+	}
+
+	// /etl reports the same view's lag behind the store tip.
+	etlResp, err := http.Get(ts.URL + "/etl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer etlResp.Body.Close()
+	var etlOut struct {
+		LiveView *struct {
+			Height    int64 `json:"height"`
+			LagBlocks int64 `json:"lag_blocks"`
+		} `json:"live_view"`
+	}
+	if err := json.NewDecoder(etlResp.Body).Decode(&etlOut); err != nil {
+		t.Fatal(err)
+	}
+	if etlOut.LiveView == nil {
+		t.Fatal("/etl missing live_view block")
+	}
+	if etlOut.LiveView.Height != tip || etlOut.LiveView.LagBlocks != 0 {
+		t.Fatalf("/etl live_view = %+v, want caught up to %d", *etlOut.LiveView, tip)
 	}
 }
 

@@ -295,3 +295,18 @@ func (c *Chain) ScanType(tt TxnType, fn func(height int64, t Txn) bool) {
 		return fn(h, t)
 	})
 }
+
+// ScanTypes calls fn for every transaction whose type is in tts,
+// interleaved in chain order (height, then intra-block position).
+func (c *Chain) ScanTypes(tts []TxnType, fn func(height int64, t Txn) bool) {
+	want := make(map[TxnType]bool, len(tts))
+	for _, tt := range tts {
+		want[tt] = true
+	}
+	c.Scan(func(h int64, t Txn) bool {
+		if !want[t.TxnType()] {
+			return true
+		}
+		return fn(h, t)
+	})
+}

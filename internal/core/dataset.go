@@ -53,6 +53,35 @@ type ActorScanner interface {
 	ScanActor(actor string, fn func(height int64, t chain.Txn) bool)
 }
 
+// TypesScanner is an optional ChainView extension: a view that can
+// enumerate the transactions of several types interleaved in chain
+// order (height, then intra-block position). The fold-form analyses
+// use it so batch and live paths consume transactions in the identical
+// order — the property that makes their outputs bit-identical.
+type TypesScanner interface {
+	ScanTypes(tts []chain.TxnType, fn func(height int64, t chain.Txn) bool)
+}
+
+// scanTypes visits every transaction whose type is in tts, in chain
+// order, through the view's TypesScanner when it has one and a
+// filtered full scan otherwise.
+func (d *Dataset) scanTypes(tts []chain.TxnType, fn func(height int64, t chain.Txn) bool) {
+	if ts, ok := d.Chain.(TypesScanner); ok {
+		ts.ScanTypes(tts, fn)
+		return
+	}
+	want := make(map[chain.TxnType]bool, len(tts))
+	for _, tt := range tts {
+		want[tt] = true
+	}
+	d.Chain.Scan(func(h int64, t chain.Txn) bool {
+		if !want[t.TxnType()] {
+			return true
+		}
+		return fn(h, t)
+	})
+}
+
 // Dataset bundles everything the analyses consume.
 type Dataset struct {
 	Chain    ChainView
@@ -84,19 +113,63 @@ type ChainSummary struct {
 	HighestBlock int64
 }
 
-// SummarizeChain computes the §3 transaction mix, scaling sampled PoC
-// transactions by the dataset's weight.
-func (d *Dataset) SummarizeChain() ChainSummary {
-	mix := d.Chain.TxnMix()
-	w := d.pocWeight()
-	s := ChainSummary{ByType: make(map[chain.TxnType]int64), HighestBlock: d.Chain.Height()}
-	if first := d.Chain.FirstHeight(); first >= 0 {
-		s.FirstBlock = first
+// SummaryState is the §3 transaction-mix fold: raw per-type counts
+// plus the height extent. The batch path seeds it from a materialized
+// TxnMix in O(types); the live path grows it one block at a time.
+// Either way Finalize applies the PoC weighting exactly once, so there
+// is a single implementation of the §3 math.
+type SummaryState struct {
+	counts     map[chain.TxnType]int64
+	first, tip int64
+}
+
+// NewSummaryState returns an empty fold state.
+func NewSummaryState() *SummaryState {
+	return &SummaryState{counts: make(map[chain.TxnType]int64), first: -1, tip: -1}
+}
+
+// ApplyBlock folds one block's transactions into the mix.
+func (st *SummaryState) ApplyBlock(b *chain.Block) {
+	if st.first < 0 {
+		st.first = b.Height
 	}
+	st.tip = b.Height
+	for _, t := range b.Txns {
+		st.counts[t.TxnType()]++
+	}
+}
+
+// seed installs a precomputed mix and extent (the batch path).
+func (st *SummaryState) seed(mix map[chain.TxnType]int64, first, tip int64) {
 	for tt, n := range mix {
+		st.counts[tt] += n
+	}
+	st.first, st.tip = first, tip
+}
+
+// Txns returns the raw (unweighted) transaction count folded so far.
+func (st *SummaryState) Txns() int64 {
+	var n int64
+	for _, c := range st.counts {
+		n += c
+	}
+	return n
+}
+
+// Finalize materializes the §3 summary, scaling sampled PoC
+// transactions by the dataset's weight. The state is not consumed.
+func (st *SummaryState) Finalize(pocWeight float64) ChainSummary {
+	if pocWeight <= 0 {
+		pocWeight = 1
+	}
+	s := ChainSummary{ByType: make(map[chain.TxnType]int64, len(st.counts)), HighestBlock: st.tip}
+	if st.first >= 0 {
+		s.FirstBlock = st.first
+	}
+	for tt, n := range st.counts {
 		c := n
 		if tt == chain.TxnPoCRequest || tt == chain.TxnPoCReceipt {
-			c = int64(float64(n) * w)
+			c = int64(float64(n) * pocWeight)
 			s.PoCTxns += c
 		}
 		s.ByType[tt] = c
@@ -106,4 +179,12 @@ func (d *Dataset) SummarizeChain() ChainSummary {
 		s.PoCFraction = float64(s.PoCTxns) / float64(s.TotalTxns)
 	}
 	return s
+}
+
+// SummarizeChain computes the §3 transaction mix as a fold seeded from
+// the view's materialized aggregate (O(types), not O(chain)).
+func (d *Dataset) SummarizeChain() ChainSummary {
+	st := NewSummaryState()
+	st.seed(d.Chain.TxnMix(), d.Chain.FirstHeight(), d.Chain.Height())
+	return st.Finalize(d.pocWeight())
 }

@@ -5,6 +5,7 @@ import (
 
 	"peoplesnet/internal/chain"
 	"peoplesnet/internal/geo"
+	"peoplesnet/internal/h3lite"
 	"peoplesnet/internal/stats"
 )
 
@@ -52,54 +53,137 @@ type MoveAnalysis struct {
 	StillAtZero      int
 }
 
-// AnalyzeMoves scans location histories out of the replayed ledger.
-func (d *Dataset) AnalyzeMoves() MoveAnalysis {
-	a := MoveAnalysis{
-		MovesPerHotspot: stats.NewHistogram(),
-		DistancesKm:     &stats.CDF{},
-		IntervalBlocks:  &stats.CDF{},
+// moveTrack is the per-hotspot slice of MovesState: enough of the
+// location history to extend it by one assertion.
+type moveTrack struct {
+	events    int
+	prevPoint geo.Point
+	prevBlock int64
+	atZero    bool
+}
+
+// MovesState is the §4.1 fold: it consumes add_gateway and
+// assert_location transactions in chain order and maintains every
+// Fig 2–4 aggregate incrementally. The batch path folds the whole
+// chain; the live path extends the same state block by block.
+type MovesState struct {
+	tracks    map[string]*moveTrack
+	hotspots  int
+	perMoves  *stats.Histogram
+	maxMoves  int
+	maxMover  string
+	dist      *stats.CDF
+	intervals *stats.CDF
+	longMoves []MoveRecord
+	zeroAss   int
+	zeroFirst int
+	atZero    int
+}
+
+// NewMovesState returns an empty fold state.
+func NewMovesState() *MovesState {
+	return &MovesState{
+		tracks:    make(map[string]*moveTrack),
+		perMoves:  stats.NewHistogram(),
+		dist:      &stats.CDF{},
+		intervals: &stats.CDF{},
 	}
-	for _, h := range d.Chain.Ledger().Hotspots() {
-		hist := h.LocationHistory
-		if len(hist) == 0 {
-			continue // never asserted (validators)
+}
+
+// movesTxnTypes are the transaction types MovesState consumes.
+var movesTxnTypes = []chain.TxnType{chain.TxnAddGateway, chain.TxnAssertLocation}
+
+// ApplyTxn folds one transaction. Non-location transactions are
+// ignored, as is an add_gateway that publishes no location (the ledger
+// records no location event for those either).
+func (st *MovesState) ApplyTxn(height int64, t chain.Txn) {
+	switch v := t.(type) {
+	case *chain.AddGateway:
+		if v.Location != h3lite.InvalidCell {
+			st.observe(v.Gateway, height, v.Location)
 		}
-		a.Hotspots++
-		moves := len(hist) - 1
-		a.MovesPerHotspot.Observe(moves)
-		if moves > a.MaxMoves {
-			a.MaxMoves = moves
-			a.MaxMover = h.Address
+	case *chain.AssertLocation:
+		st.observe(v.Gateway, height, v.Location)
+	default:
+		// Every other transaction type leaves location state alone.
+	}
+}
+
+// observe extends one hotspot's location history by one event,
+// updating every aggregate the batch scan would have derived from the
+// full history.
+func (st *MovesState) observe(gw string, height int64, cell h3lite.Cell) {
+	tr := st.tracks[gw]
+	if tr == nil {
+		tr = &moveTrack{}
+		st.tracks[gw] = tr
+		st.hotspots++
+	}
+	p := cell.Center()
+	// The H3 cell containing exactly (0,0) has a centroid a few
+	// meters off; treat anything within one cell of null island as a
+	// (0,0) assertion.
+	if geo.HaversineKm(p, geo.Point{}) < 0.05 {
+		st.zeroAss++
+		if tr.events == 0 {
+			st.zeroFirst++
 		}
-		last := hist[len(hist)-1].Cell.Center()
-		if last.IsZero() {
-			a.StillAtZero++
+	}
+	exactZero := p.IsZero()
+	if tr.events == 0 {
+		st.perMoves.Observe(0)
+		if exactZero {
+			st.atZero++
 		}
-		for i, ev := range hist {
-			p := ev.Cell.Center()
-			// The H3 cell containing exactly (0,0) has a centroid a few
-			// meters off; treat anything within one cell of null island
-			// as a (0,0) assertion.
-			if geo.HaversineKm(p, geo.Point{}) < 0.05 {
-				a.ZeroAssertions++
-				if i == 0 {
-					a.ZeroFirstAsserts++
-				}
+	} else {
+		moves := tr.events // history length grows to events+1, so moves = events
+		st.perMoves.Shift(moves-1, moves)
+		if moves > st.maxMoves || (moves == st.maxMoves && gw < st.maxMover) {
+			st.maxMoves = moves
+			st.maxMover = gw
+		}
+		d := geo.HaversineKm(tr.prevPoint, p)
+		st.dist.Add(d)
+		st.intervals.Add(float64(height - tr.prevBlock))
+		if d > 500 {
+			st.longMoves = append(st.longMoves, MoveRecord{
+				Hotspot: gw, FromBlock: tr.prevBlock, ToBlock: height,
+				From: tr.prevPoint, To: p, DistanceKm: d,
+			})
+		}
+		if tr.atZero != exactZero {
+			if exactZero {
+				st.atZero++
+			} else {
+				st.atZero--
 			}
-			if i == 0 {
-				continue
-			}
-			from := hist[i-1].Cell.Center()
-			dist := geo.HaversineKm(from, p)
-			a.DistancesKm.Add(dist)
-			a.IntervalBlocks.Add(float64(ev.Block - hist[i-1].Block))
-			if dist > 500 {
-				a.LongMoves = append(a.LongMoves, MoveRecord{
-					Hotspot: h.Address, FromBlock: hist[i-1].Block, ToBlock: ev.Block,
-					From: from, To: p, DistanceKm: dist,
-				})
-			}
 		}
+	}
+	tr.atZero = exactZero
+	tr.prevPoint = p
+	tr.prevBlock = height
+	tr.events++
+}
+
+// TotalMoves returns the number of relocations folded so far (the
+// windowed live views difference it per block).
+func (st *MovesState) TotalMoves() int64 { return int64(st.dist.N()) }
+
+// Finalize materializes the §4.1 analysis. The state is not consumed:
+// aggregates are cloned, so a live view can keep folding after a
+// snapshot.
+func (st *MovesState) Finalize() MoveAnalysis {
+	a := MoveAnalysis{
+		Hotspots:         st.hotspots,
+		MovesPerHotspot:  st.perMoves.Clone(),
+		MaxMoves:         st.maxMoves,
+		MaxMover:         st.maxMover,
+		DistancesKm:      st.dist.Clone(),
+		LongMoves:        append([]MoveRecord(nil), st.longMoves...),
+		IntervalBlocks:   st.intervals.Clone(),
+		ZeroAssertions:   st.zeroAss,
+		ZeroFirstAsserts: st.zeroFirst,
+		StillAtZero:      st.atZero,
 	}
 	if a.Hotspots > 0 {
 		a.NeverMovedFrac = a.MovesPerHotspot.FracExactly(0)
@@ -114,8 +198,29 @@ func (d *Dataset) AnalyzeMoves() MoveAnalysis {
 		a.WithinWeekFrac = a.IntervalBlocks.P(7 * chain.BlocksPerDay)
 		a.WithinMoFrac = a.IntervalBlocks.P(30 * chain.BlocksPerDay)
 	}
-	sort.Slice(a.LongMoves, func(i, j int) bool { return a.LongMoves[i].DistanceKm > a.LongMoves[j].DistanceKm })
+	sort.Slice(a.LongMoves, func(i, j int) bool {
+		mi, mj := a.LongMoves[i], a.LongMoves[j]
+		if mi.DistanceKm != mj.DistanceKm {
+			return mi.DistanceKm > mj.DistanceKm
+		}
+		if mi.Hotspot != mj.Hotspot {
+			return mi.Hotspot < mj.Hotspot
+		}
+		return mi.ToBlock < mj.ToBlock
+	})
 	return a
+}
+
+// AnalyzeMoves folds the chain's location assertions from genesis —
+// the same fold the live view runs incrementally, so the two agree
+// bit for bit at equal heights.
+func (d *Dataset) AnalyzeMoves() MoveAnalysis {
+	st := NewMovesState()
+	d.scanTypes(movesTxnTypes, func(h int64, t chain.Txn) bool {
+		st.ApplyTxn(h, t)
+		return true
+	})
+	return st.Finalize()
 }
 
 // GrowthAnalysis reproduces Fig 5 from the chain: hotspots added per
@@ -136,35 +241,66 @@ type GrowthAnalysis struct {
 	FirstMakerDay map[string]int64
 }
 
-// AnalyzeGrowth buckets add_gateway transactions by day.
-func (d *Dataset) AnalyzeGrowth() GrowthAnalysis {
-	perDay := make(map[int64]float64)
-	byMaker := make(map[string]int64)
-	firstMaker := make(map[string]int64)
-	var total int64
-	d.Chain.ScanType(chain.TxnAddGateway, func(h int64, t chain.Txn) bool {
-		day := h / chain.BlocksPerDay
-		perDay[day]++
-		total++
-		if m := t.(*chain.AddGateway).Maker; m != "" {
-			byMaker[m]++
-			if cur, ok := firstMaker[m]; !ok || day < cur {
-				firstMaker[m] = day
-			}
+// GrowthState is the Fig 5 fold: add_gateway transactions bucketed by
+// day, maker tallies, and the running peak.
+type GrowthState struct {
+	perDay     map[int64]float64
+	byMaker    map[string]int64
+	firstMaker map[string]int64
+	total      int64
+	peak       float64
+}
+
+// NewGrowthState returns an empty fold state.
+func NewGrowthState() *GrowthState {
+	return &GrowthState{
+		perDay:     make(map[int64]float64),
+		byMaker:    make(map[string]int64),
+		firstMaker: make(map[string]int64),
+	}
+}
+
+// ApplyTxn folds one transaction; anything but add_gateway is ignored.
+func (st *GrowthState) ApplyTxn(height int64, t chain.Txn) {
+	ag, ok := t.(*chain.AddGateway)
+	if !ok {
+		return
+	}
+	day := height / chain.BlocksPerDay
+	st.perDay[day]++
+	if st.perDay[day] > st.peak {
+		st.peak = st.perDay[day]
+	}
+	st.total++
+	if m := ag.Maker; m != "" {
+		st.byMaker[m]++
+		if cur, ok := st.firstMaker[m]; !ok || day < cur {
+			st.firstMaker[m] = day
 		}
-		return true
-	})
+	}
+}
+
+// Total returns the hotspots added so far.
+func (st *GrowthState) Total() int64 { return st.total }
+
+// Finalize materializes Fig 5. Maps are copied and the day series is
+// rebuilt, so the state keeps folding after a snapshot.
+func (st *GrowthState) Finalize() GrowthAnalysis {
 	g := GrowthAnalysis{
 		Daily:         stats.NewTimeSeries("hotspot adds/day"),
-		Total:         total,
-		ByMaker:       byMaker,
-		FirstMakerDay: firstMaker,
+		Total:         st.total,
+		PeakDaily:     st.peak,
+		ByMaker:       make(map[string]int64, len(st.byMaker)),
+		FirstMakerDay: make(map[string]int64, len(st.firstMaker)),
 	}
-	for day, n := range perDay {
+	for m, n := range st.byMaker {
+		g.ByMaker[m] = n
+	}
+	for m, d := range st.firstMaker {
+		g.FirstMakerDay[m] = d
+	}
+	for day, n := range st.perDay {
 		g.Daily.Append(day, n)
-		if n > g.PeakDaily {
-			g.PeakDaily = n
-		}
 	}
 	g.Daily.Sort()
 	g.Cumulative = g.Daily.Cumulative()
@@ -181,4 +317,15 @@ func (d *Dataset) AnalyzeGrowth() GrowthAnalysis {
 		}
 	}
 	return g
+}
+
+// AnalyzeGrowth folds add_gateway transactions from genesis — the
+// identical fold the live view extends per block.
+func (d *Dataset) AnalyzeGrowth() GrowthAnalysis {
+	st := NewGrowthState()
+	d.Chain.ScanType(chain.TxnAddGateway, func(h int64, t chain.Txn) bool {
+		st.ApplyTxn(h, t)
+		return true
+	})
+	return st.Finalize()
 }

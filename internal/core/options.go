@@ -1,0 +1,35 @@
+package core
+
+// MeasureOptions carries the analysis thresholds that used to be magic
+// numbers at the Measure call site. The batch path (peoplesnet.Measure)
+// and the live path (internal/live) share one value, so a dashboard and
+// a report rendered from the same options agree on every cutoff.
+type MeasureOptions struct {
+	// ResaleTopN bounds the Fig 7b top-trader list.
+	ResaleTopN int
+	// ISPTopN bounds the Table 1 top-ISP list.
+	ISPTopN int
+	// PoCWeight, when positive, overrides the dataset's notional
+	// transactions-per-sampled-receipt weight (used when measuring a
+	// bare store with no World attached).
+	PoCWeight float64
+}
+
+// DefaultMeasureOptions returns the paper's cutoffs: the top 200
+// traders and the top 15 ISPs.
+func DefaultMeasureOptions() MeasureOptions {
+	return MeasureOptions{ResaleTopN: 200, ISPTopN: 15}
+}
+
+// Normalized fills zero fields with the defaults so a partially
+// populated options value keeps the paper's cutoffs.
+func (o MeasureOptions) Normalized() MeasureOptions {
+	d := DefaultMeasureOptions()
+	if o.ResaleTopN == 0 {
+		o.ResaleTopN = d.ResaleTopN
+	}
+	if o.ISPTopN == 0 {
+		o.ISPTopN = d.ISPTopN
+	}
+	return o
+}

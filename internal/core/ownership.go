@@ -67,7 +67,16 @@ type OwnershipAnalysis struct {
 // AnalyzeOwnership tallies hotspots per wallet from the ledger and
 // classifies bulk owners by the paper's balance/data heuristics.
 func (d *Dataset) AnalyzeOwnership() OwnershipAnalysis {
-	ledger := d.Chain.Ledger()
+	return AnalyzeOwnershipLedger(d.Chain.Ledger(), d.Meta)
+}
+
+// AnalyzeOwnershipLedger is the §4.3 computation over any replayed
+// ledger. The live view calls it against its replica ledger — the
+// ledger itself is the incremental state, so both paths run this one
+// O(hotspots) walk at snapshot time. Ties (largest owner, equal fleet
+// sizes in Bulk) break toward the smaller address so the result is
+// identical regardless of map iteration order.
+func AnalyzeOwnershipLedger(ledger *chain.Ledger, meta map[string]HotspotMeta) OwnershipAnalysis {
 	type acc struct {
 		hotspots int
 		data     int64
@@ -82,7 +91,7 @@ func (d *Dataset) AnalyzeOwnership() OwnershipAnalysis {
 		}
 		a.hotspots++
 		a.data += h.DataPackets
-		if m, ok := d.Meta[h.Address]; ok {
+		if m, ok := meta[h.Address]; ok {
 			a.cities[m.City] = true
 		}
 	}
@@ -91,7 +100,7 @@ func (d *Dataset) AnalyzeOwnership() OwnershipAnalysis {
 		o.Owners++
 		o.Hotspots += a.hotspots
 		o.PerOwner.Observe(a.hotspots)
-		if a.hotspots > o.MaxOwned {
+		if a.hotspots > o.MaxOwned || (a.hotspots == o.MaxOwned && addr < o.MaxOwner) {
 			o.MaxOwned = a.hotspots
 			o.MaxOwner = addr
 		}
@@ -114,7 +123,12 @@ func (d *Dataset) AnalyzeOwnership() OwnershipAnalysis {
 		o.AtMostThree = o.PerOwner.FracAtMost(3)
 		o.FiveOrMore = o.PerOwner.FracMoreThan(4)
 	}
-	sort.Slice(o.Bulk, func(i, j int) bool { return o.Bulk[i].Hotspots > o.Bulk[j].Hotspots })
+	sort.Slice(o.Bulk, func(i, j int) bool {
+		if o.Bulk[i].Hotspots != o.Bulk[j].Hotspots {
+			return o.Bulk[i].Hotspots > o.Bulk[j].Hotspots
+		}
+		return o.Bulk[i].Address < o.Bulk[j].Address
+	})
 	return o
 }
 
@@ -239,57 +253,85 @@ type TraderProfile struct {
 	Sold    int
 }
 
-// AnalyzeResale scans transfer_hotspot transactions.
-func (d *Dataset) AnalyzeResale(topN int) ResaleAnalysis {
+// ResaleState is the §4.3.3 fold: transfer_hotspot transactions
+// tallied per hotspot, per trader, and per month.
+type ResaleState struct {
+	total      int64
+	zero       int64
+	perHotspot map[string]int
+	traders    map[string]*TraderProfile
+	perMonth   map[int64]float64
+}
+
+// NewResaleState returns an empty fold state.
+func NewResaleState() *ResaleState {
+	return &ResaleState{
+		perHotspot: make(map[string]int),
+		traders:    make(map[string]*TraderProfile),
+		perMonth:   make(map[int64]float64),
+	}
+}
+
+// ApplyTxn folds one transaction; anything but transfer_hotspot is
+// ignored.
+func (st *ResaleState) ApplyTxn(height int64, t chain.Txn) {
+	tr, ok := t.(*chain.TransferHotspot)
+	if !ok {
+		return
+	}
+	st.total++
+	st.perHotspot[tr.Gateway]++
+	if tr.AmountBones == 0 {
+		st.zero++
+	}
+	for _, who := range []struct {
+		addr string
+		sell bool
+	}{{tr.Seller, true}, {tr.Buyer, false}} {
+		tp := st.traders[who.addr]
+		if tp == nil {
+			tp = &TraderProfile{Address: who.addr}
+			st.traders[who.addr] = tp
+		}
+		if who.sell {
+			tp.Sold++
+		} else {
+			tp.Bought++
+		}
+	}
+	st.perMonth[height/(30*chain.BlocksPerDay)]++
+}
+
+// Total returns the transfers folded so far.
+func (st *ResaleState) Total() int64 { return st.total }
+
+// Finalize materializes Fig 7 against the given total hotspot count
+// (the denominator of TransferredFrac comes from the ledger, not the
+// fold). The state keeps folding after a snapshot. The trader ranking
+// is totally ordered (activity, then address), so the topN cut is
+// deterministic.
+func (st *ResaleState) Finalize(topN, hotspotCount int) ResaleAnalysis {
 	r := ResaleAnalysis{
+		TotalTransfers:      st.total,
 		TransfersPerHotspot: stats.NewHistogram(),
 		PerMonth:            stats.NewTimeSeries("hotspot transfers/month"),
 	}
-	perHotspot := make(map[string]int)
-	traders := make(map[string]*TraderProfile)
-	perMonth := make(map[int64]float64)
-	var zero int64
-	d.Chain.ScanType(chain.TxnTransferHotspot, func(h int64, t chain.Txn) bool {
-		tr := t.(*chain.TransferHotspot)
-		r.TotalTransfers++
-		perHotspot[tr.Gateway]++
-		if tr.AmountBones == 0 {
-			zero++
-		}
-		for _, who := range []struct {
-			addr string
-			sell bool
-		}{{tr.Seller, true}, {tr.Buyer, false}} {
-			tp := traders[who.addr]
-			if tp == nil {
-				tp = &TraderProfile{Address: who.addr}
-				traders[who.addr] = tp
-			}
-			if who.sell {
-				tp.Sold++
-			} else {
-				tp.Bought++
-			}
-		}
-		perMonth[h/(30*chain.BlocksPerDay)]++
-		return true
-	})
-	for _, n := range perHotspot {
+	for _, n := range st.perHotspot {
 		r.TransfersPerHotspot.Observe(n)
 	}
-	r.TransferredHotspots = len(perHotspot)
-	if total := d.Chain.Ledger().HotspotCount(); total > 0 {
-		r.TransferredFrac = float64(r.TransferredHotspots) / float64(total)
+	r.TransferredHotspots = len(st.perHotspot)
+	if hotspotCount > 0 {
+		r.TransferredFrac = float64(r.TransferredHotspots) / float64(hotspotCount)
 	}
 	if r.TotalTransfers > 0 {
-		r.ZeroDCFrac = float64(zero) / float64(r.TotalTransfers)
+		r.ZeroDCFrac = float64(st.zero) / float64(r.TotalTransfers)
 		r.AtMostTwoFrac = r.TransfersPerHotspot.FracAtMost(2)
 	}
-	for m, n := range perMonth {
+	for m, n := range st.perMonth {
 		r.PerMonth.Append(m, n)
 	}
 	r.PerMonth.Sort()
-	for _, tp := range traders {
+	for _, tp := range st.traders {
 		r.TopTraders = append(r.TopTraders, *tp)
 	}
 	sort.Slice(r.TopTraders, func(i, j int) bool {
@@ -303,4 +345,15 @@ func (d *Dataset) AnalyzeResale(topN int) ResaleAnalysis {
 		r.TopTraders = r.TopTraders[:topN]
 	}
 	return r
+}
+
+// AnalyzeResale folds transfer_hotspot transactions from genesis —
+// the identical fold the live view extends per block.
+func (d *Dataset) AnalyzeResale(topN int) ResaleAnalysis {
+	st := NewResaleState()
+	d.Chain.ScanType(chain.TxnTransferHotspot, func(h int64, t chain.Txn) bool {
+		st.ApplyTxn(h, t)
+		return true
+	})
+	return st.Finalize(topN, d.Chain.Ledger().HotspotCount())
 }

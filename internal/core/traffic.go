@@ -28,41 +28,110 @@ type TrafficAnalysis struct {
 	SpikePeak       float64
 }
 
-// AnalyzeTraffic scans state-channel closes.
-func (d *Dataset) AnalyzeTraffic() TrafficAnalysis {
-	t := TrafficAnalysis{PerClose: stats.NewTimeSeries("packets per SC close")}
+// trafficPoint is one state-channel close held in the trailing-week
+// window.
+type trafficPoint struct {
+	height int64
+	pkts   int64
+}
+
+// TrafficState is the §5 fold: per-close series, totals, per-owner
+// close counts (the Console share is resolved against the ledger's
+// OUI registry at finalize time, because an OUI may register after
+// its first close), and a deque of the closes inside the trailing
+// week of the current tip.
+type TrafficState struct {
+	perClose      *stats.TimeSeries
+	totalPackets  int64
+	closes        int64
+	closesByOwner map[string]int64
+	win           []trafficPoint
+	winHead       int
+	winSum        int64
+}
+
+// NewTrafficState returns an empty fold state.
+func NewTrafficState() *TrafficState {
+	return &TrafficState{
+		perClose:      stats.NewTimeSeries("packets per SC close"),
+		closesByOwner: make(map[string]int64),
+	}
+}
+
+// ApplyTxn folds one transaction; anything but state_channel_close is
+// ignored.
+func (st *TrafficState) ApplyTxn(height int64, t chain.Txn) {
+	cl, ok := t.(*chain.StateChannelClose)
+	if !ok {
+		return
+	}
+	pkts := cl.TotalPackets()
+	st.perClose.Append(height, float64(pkts))
+	st.totalPackets += pkts
+	st.closes++
+	st.closesByOwner[cl.Owner]++
+	st.evict(height)
+	st.win = append(st.win, trafficPoint{height, pkts})
+	st.winSum += pkts
+}
+
+// evict drops window entries at or before tip minus one week. The tip
+// only grows, so evicting against an intermediate height never drops
+// an entry a later finalize would still want.
+func (st *TrafficState) evict(tip int64) {
+	cut := tip - 7*chain.BlocksPerDay
+	for st.winHead < len(st.win) && st.win[st.winHead].height <= cut {
+		st.winSum -= st.win[st.winHead].pkts
+		st.winHead++
+	}
+	if st.winHead > len(st.win)/2 && st.winHead > 32 {
+		st.win = append(st.win[:0:0], st.win[st.winHead:]...)
+		st.winHead = 0
+	}
+}
+
+// Finalize materializes §5 at the given tip, resolving the Console
+// share against the ledger's OUI registry. The per-close series is
+// cloned before the spike detector sorts it, so the state keeps
+// folding after a snapshot.
+func (st *TrafficState) Finalize(tip int64, ledger *chain.Ledger) TrafficAnalysis {
+	t := TrafficAnalysis{
+		PerClose:     st.perClose.Clone(),
+		TotalPackets: st.totalPackets,
+	}
 	// Map owner wallets to OUIs for the Console share.
 	ouiOf := make(map[string]uint32)
-	for _, o := range d.Chain.Ledger().OUIs() {
+	for _, o := range ledger.OUIs() {
 		if _, taken := ouiOf[o.Owner]; !taken || o.OUI < ouiOf[o.Owner] {
 			ouiOf[o.Owner] = o.OUI
 		}
 	}
-	var closes, consoleCloses int64
-	var tip int64 = d.Chain.Height()
-	var lastWeekPkts int64
-	d.Chain.ScanType(chain.TxnStateChannelClose, func(h int64, tx chain.Txn) bool {
-		cl := tx.(*chain.StateChannelClose)
-		pkts := cl.TotalPackets()
-		t.PerClose.Append(h, float64(pkts))
-		t.TotalPackets += pkts
-		closes++
-		if oui := ouiOf[cl.Owner]; oui == 1 || oui == 2 {
-			consoleCloses++
+	var consoleCloses int64
+	for owner, n := range st.closesByOwner {
+		if oui := ouiOf[owner]; oui == 1 || oui == 2 {
+			consoleCloses += n
 		}
-		if h > tip-7*chain.BlocksPerDay {
-			lastWeekPkts += pkts
-		}
-		return true
-	})
-	if closes > 0 {
-		t.ConsoleShare = float64(consoleCloses) / float64(closes)
 	}
+	if st.closes > 0 {
+		t.ConsoleShare = float64(consoleCloses) / float64(st.closes)
+	}
+	st.evict(tip)
 	if tip > 0 {
-		t.FinalPktPerSec = float64(lastWeekPkts) / (7 * 24 * 3600)
+		t.FinalPktPerSec = float64(st.winSum) / (7 * 24 * 3600)
 	}
 	t.detectSpike()
 	return t
+}
+
+// AnalyzeTraffic folds state-channel closes from genesis — the
+// identical fold the live view extends per block.
+func (d *Dataset) AnalyzeTraffic() TrafficAnalysis {
+	st := NewTrafficState()
+	d.Chain.ScanType(chain.TxnStateChannelClose, func(h int64, tx chain.Txn) bool {
+		st.ApplyTxn(h, tx)
+		return true
+	})
+	return st.Finalize(d.Chain.Height(), d.Chain.Ledger())
 }
 
 // detectSpike finds the largest contiguous run of closes whose packet

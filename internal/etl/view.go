@@ -74,6 +74,14 @@ func (v *View) ScanType(tt chain.TxnType, fn func(height int64, t chain.Txn) boo
 	v.s.Scan(All(), Filter{Types: []chain.TxnType{tt}}, fn)
 }
 
+// ScanTypes visits transactions of the given types interleaved in
+// chain order — the segment scanner merges the per-type posting lists
+// by (block, position), so multi-type folds see the exact ingest
+// order.
+func (v *View) ScanTypes(tts []chain.TxnType, fn func(height int64, t chain.Txn) bool) {
+	v.s.Scan(All(), Filter{Types: append([]chain.TxnType(nil), tts...)}, fn)
+}
+
 // ScanActor visits transactions mentioning the actor via its posting
 // lists — the fast path behind core.BalanceHistory.
 func (v *View) ScanActor(actor string, fn func(height int64, t chain.Txn) bool) {

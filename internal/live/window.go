@@ -1,0 +1,80 @@
+package live
+
+// WindowSnapshot is the trailing-N-day view the batch path cannot
+// express without a rescan: activity totals over the last Days days
+// of chain time (the window is (TipDay-Days, TipDay]).
+type WindowSnapshot struct {
+	// Days is the window length; TipDay the day of the last folded
+	// block (-1 while empty).
+	Days   int
+	TipDay int64
+	// Adds, Moves, Transfers are the hotspots added, relocations
+	// asserted, and hotspots resold inside the window.
+	Adds      float64
+	Moves     float64
+	Transfers float64
+}
+
+// dayRing accumulates one number per chain day over a trailing window
+// of n days. Slot day%n holds that day's contribution; advancing the
+// tip evicts the days that fall out of the window and keeps a running
+// total, so both observe and sum are O(1) amortized.
+type dayRing struct {
+	n      int
+	days   []int64 // day stamp per slot, -1 when empty
+	vals   []float64
+	total  float64
+	curDay int64
+}
+
+func newDayRing(n int) *dayRing {
+	r := &dayRing{n: n, days: make([]int64, n), vals: make([]float64, n), curDay: -1}
+	for i := range r.days {
+		r.days[i] = -1
+	}
+	return r
+}
+
+// advance rolls the window tip forward to day, evicting every slot
+// whose day drops out of (day-n, day]. A jump of n or more days
+// empties the whole ring.
+func (r *dayRing) advance(day int64) {
+	if day <= r.curDay {
+		return
+	}
+	if r.curDay < 0 || day-r.curDay >= int64(r.n) {
+		for i := range r.days {
+			r.days[i] = -1
+			r.vals[i] = 0
+		}
+		r.total = 0
+		r.curDay = day
+		return
+	}
+	for d := r.curDay + 1; d <= day; d++ {
+		slot := int(d % int64(r.n))
+		if r.days[slot] >= 0 {
+			r.total -= r.vals[slot]
+		}
+		r.days[slot] = -1
+		r.vals[slot] = 0
+	}
+	r.curDay = day
+}
+
+// observe adds v to day's bucket, first advancing the tip to day.
+// Chain heights are monotone, so a day is never observed after it has
+// been evicted.
+func (r *dayRing) observe(day int64, v float64) {
+	r.advance(day)
+	slot := int(day % int64(r.n))
+	if r.days[slot] != day {
+		r.days[slot] = day
+		r.vals[slot] = 0
+	}
+	r.vals[slot] += v
+	r.total += v
+}
+
+// sum returns the total over the trailing window.
+func (r *dayRing) sum() float64 { return r.total }

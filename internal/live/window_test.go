@@ -1,0 +1,93 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// brute recomputes a trailing-window sum from a full event list: the
+// oracle the ring is checked against.
+func brute(events map[int64]float64, tip int64, n int) float64 {
+	sum := 0.0
+	for d, v := range events {
+		if d > tip-int64(n) && d <= tip {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestDayRingBoundaryEviction pins the exact eviction edge: a day-0
+// contribution is still inside a 30-day window at day 29 and gone at
+// day 30.
+func TestDayRingBoundaryEviction(t *testing.T) {
+	r := newDayRing(30)
+	r.observe(0, 5)
+	r.observe(29, 0) // advance only
+	if got := r.sum(); got != 5 {
+		t.Fatalf("day 29: sum = %v, want 5 (day 0 still in window)", got)
+	}
+	r.observe(30, 0)
+	if got := r.sum(); got != 0 {
+		t.Fatalf("day 30: sum = %v, want 0 (day 0 evicted)", got)
+	}
+}
+
+// TestDayRingSameDayAccumulates pins that multiple observations of
+// one day share a bucket and leave together.
+func TestDayRingSameDayAccumulates(t *testing.T) {
+	r := newDayRing(7)
+	r.observe(3, 1)
+	r.observe(3, 2)
+	r.observe(3, 4)
+	if got := r.sum(); got != 7 {
+		t.Fatalf("sum = %v, want 7", got)
+	}
+	r.observe(10, 1) // day 3 leaves exactly at day 10 (window (3,10])
+	if got := r.sum(); got != 1 {
+		t.Fatalf("after jump: sum = %v, want 1", got)
+	}
+}
+
+// TestDayRingLongJump pins that a gap of at least the window length
+// empties the ring rather than leaving stale slots behind.
+func TestDayRingLongJump(t *testing.T) {
+	r := newDayRing(5)
+	for d := int64(0); d < 5; d++ {
+		r.observe(d, 1)
+	}
+	if got := r.sum(); got != 5 {
+		t.Fatalf("warm ring: sum = %v, want 5", got)
+	}
+	r.observe(1000, 2)
+	if got := r.sum(); got != 2 {
+		t.Fatalf("after long jump: sum = %v, want 2", got)
+	}
+}
+
+// TestDayRingMatchesBruteForce drives the ring with a random monotone
+// day sequence (including same-day repeats, unit steps, and jumps
+// straddling the window length) and checks the running sum against a
+// full recompute at every step.
+func TestDayRingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 30
+	r := newDayRing(n)
+	events := make(map[int64]float64)
+	day := int64(0)
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(10) {
+		case 0: // long jump, occasionally past the whole window
+			day += int64(rng.Intn(2*n + 1))
+		case 1, 2, 3: // same day again
+		default:
+			day++
+		}
+		v := float64(rng.Intn(5))
+		r.observe(day, v)
+		events[day] += v
+		if got, want := r.sum(), brute(events, day, n); got != want {
+			t.Fatalf("step %d (day %d): ring sum = %v, brute force = %v", i, day, got, want)
+		}
+	}
+}

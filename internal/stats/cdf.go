@@ -37,6 +37,13 @@ func (c *CDF) sort() {
 	}
 }
 
+// Clone returns an independent deep copy, preserving sample order and
+// sortedness — a cloned-then-queried CDF is structurally identical to
+// the original after the same queries.
+func (c *CDF) Clone() *CDF {
+	return &CDF{sorted: c.sorted, samples: append([]float64(nil), c.samples...)}
+}
+
 // N returns the number of samples.
 func (c *CDF) N() int { return len(c.samples) }
 

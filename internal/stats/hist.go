@@ -29,6 +29,28 @@ func (h *Histogram) ObserveN(v, n int) {
 	h.total += n
 }
 
+// Shift moves one observation from value `from` to value `to` without
+// changing the total — the incremental-view update for "this hotspot's
+// move count just went from n-1 to n". A count that reaches zero is
+// deleted so the histogram stays structurally identical to one built
+// by observing each final value exactly once.
+func (h *Histogram) Shift(from, to int) {
+	h.counts[from]--
+	if h.counts[from] == 0 {
+		delete(h.counts, from)
+	}
+	h.counts[to]++
+}
+
+// Clone returns an independent deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{counts: make(map[int]int, len(h.counts)), total: h.total}
+	for v, n := range h.counts {
+		c.counts[v] = n
+	}
+	return c
+}
+
 // Count returns the number of observations of exactly v.
 func (h *Histogram) Count(v int) int { return h.counts[v] }
 
@@ -141,6 +163,16 @@ func (t *TimeSeries) Append(x int64, y float64) {
 
 // Len returns the number of points.
 func (t *TimeSeries) Len() int { return len(t.Xs) }
+
+// Clone returns an independent deep copy, preserving sortedness.
+func (t *TimeSeries) Clone() *TimeSeries {
+	return &TimeSeries{
+		Name:   t.Name,
+		Xs:     append([]int64(nil), t.Xs...),
+		Ys:     append([]float64(nil), t.Ys...),
+		sorted: t.sorted,
+	}
+}
 
 // Sort orders the series by x.
 func (t *TimeSeries) Sort() {

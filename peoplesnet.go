@@ -29,6 +29,7 @@ import (
 	"peoplesnet/internal/etl"
 	"peoplesnet/internal/fieldtest"
 	"peoplesnet/internal/geo"
+	"peoplesnet/internal/live"
 	"peoplesnet/internal/simnet"
 	"peoplesnet/internal/stats"
 )
@@ -70,39 +71,115 @@ type Study struct {
 	Audit     core.IncentiveAudit
 }
 
+// MeasureOptions carries the analysis cutoffs shared by the batch and
+// live paths (top-trader and top-ISP list sizes, PoC weight
+// override). The zero value means "paper defaults".
+type MeasureOptions = core.MeasureOptions
+
+// DefaultMeasureOptions returns the paper's cutoffs.
+func DefaultMeasureOptions() MeasureOptions { return core.DefaultMeasureOptions() }
+
 // Measure runs every chain/p2p/IP analysis of §3–§7 over the world.
 // The chain is first loaded into an internal ETL store (the stand-in
 // for the DeWi ETL service the paper queried), so the analyses resolve
 // through its indexes and materialized aggregates rather than raw
 // block scans. MeasureDirect skips the indexing.
-func Measure(w *World) *Study {
+func Measure(w *World) *Study { return MeasureWith(w, DefaultMeasureOptions()) }
+
+// MeasureWith is Measure with explicit analysis cutoffs.
+func MeasureWith(w *World, opts MeasureOptions) *Study {
 	d := core.FromSimulation(w)
 	d.Chain = etl.FromChain(w.Chain).View()
-	return measure(d, w)
+	return measure(d, w, opts)
 }
 
 // MeasureDirect runs the same suite with full chain scans instead of
 // the ETL indexes — mainly useful for benchmarking one against the
 // other.
 func MeasureDirect(w *World) *Study {
-	return measure(core.FromSimulation(w), w)
+	return measure(core.FromSimulation(w), w, DefaultMeasureOptions())
 }
 
-func measure(d *core.Dataset, w *World) *Study {
-	return &Study{
+// MeasureStore runs the suite over an already-open ETL store without
+// re-indexing anything: the analyses resolve through the store's
+// posting lists and its attached ledger (replayed on demand when the
+// store was reopened without one). world may be nil — a bare store
+// has no p2p swarm or IP metadata, so the §6 analyses come back
+// empty; everything chain-derived is complete.
+func MeasureStore(s *etl.Store, w *World) *Study {
+	return MeasureStoreWith(s, w, DefaultMeasureOptions())
+}
+
+// MeasureStoreWith is MeasureStore with explicit analysis cutoffs.
+// Opts.PoCWeight supplies the sampling weight a nil world cannot; if
+// the store's ledger is missing and cannot be replayed (damaged
+// segments), the ledger-derived analyses degrade to empty and the
+// store's Health says why.
+func MeasureStoreWith(s *etl.Store, w *World, opts MeasureOptions) *Study {
+	opts = opts.Normalized()
+	if s.Ledger() == nil {
+		l, err := s.ReplayLedger()
+		if err != nil {
+			l = chain.NewLedger()
+		}
+		s.SetLedger(l)
+	}
+	var d *core.Dataset
+	if w != nil {
+		d = core.FromSimulation(w)
+	} else {
+		d = &core.Dataset{}
+	}
+	d.Chain = s.View()
+	if opts.PoCWeight > 0 {
+		d.PoCWeight = opts.PoCWeight
+	}
+	return measure(d, w, opts)
+}
+
+func measure(d *core.Dataset, w *World, opts MeasureOptions) *Study {
+	opts = opts.Normalized()
+	s := &Study{
 		Dataset:   d,
 		World:     w,
 		Summary:   d.SummarizeChain(),
 		Moves:     d.AnalyzeMoves(),
 		Growth:    d.AnalyzeGrowth(),
 		Ownership: d.AnalyzeOwnership(),
-		Resale:    d.AnalyzeResale(200),
+		Resale:    d.AnalyzeResale(opts.ResaleTopN),
 		Traffic:   d.AnalyzeTraffic(),
 		Routers:   d.AnalyzeRouters(),
-		ISPs:      d.AnalyzeISPs(15),
-		Relays:    d.AnalyzeRelays(5, stats.NewRNG(w.Cfg.Seed^0x4e1a)),
+		ISPs:      d.AnalyzeISPs(opts.ISPTopN),
 		Audit:     d.AuditIncentives(1, 100),
 	}
+	if w != nil {
+		// The relay analyses need the world's p2p swarm and seed.
+		s.Relays = d.AnalyzeRelays(5, stats.NewRNG(w.Cfg.Seed^0x4e1a))
+	}
+	return s
+}
+
+// LiveStudy re-exports internal/live's incremental study: the §3–§6
+// analyses maintained as materialized views over a store's block
+// tail, with per-update cost proportional to the new transactions.
+type LiveStudy = live.Study
+
+// LiveSnapshot is one consistent materialization of a LiveStudy.
+type LiveSnapshot = live.Snapshot
+
+// Live attaches an incremental study to an open store. It folds every
+// stored block, then keeps up with ingest; stop it with Close. world
+// may be nil for a bare store (the ownership analysis then has no
+// city metadata). Opts is shared with the batch path, so dashboards
+// and reports agree on every cutoff.
+func Live(s *etl.Store, w *World, opts MeasureOptions) *LiveStudy {
+	lo := live.Options{Measure: opts}
+	if w != nil {
+		d := core.FromSimulation(w)
+		lo.Meta = d.Meta
+		lo.PoCWeight = d.PoCWeight
+	}
+	return live.Attach(s, lo)
 }
 
 // CoverageStudy evaluates the §8.2 coverage model family over a

@@ -99,7 +99,7 @@ func (s *Study) RenderText() string {
 	w("peers: %d   relayed: %d (%.2f%%)   max fan-out: %d   [paper: 27,281 peers, 55.48%%, max 46]",
 		s.Relays.Stats.Total, s.Relays.Stats.Relayed,
 		s.Relays.Stats.RelayedFraction()*100, s.Relays.Stats.MaxFanOut)
-	if s.Relays.Stats.DistancesKm.N() > 0 {
+	if s.Relays.Stats.DistancesKm != nil && s.Relays.Stats.DistancesKm.N() > 0 {
 		w("%s", s.Relays.Stats.DistancesKm.Render("relay→peer distance", " km"))
 	}
 	w("KS vs %d random reassignments: %.3f (small ⇒ selection is random, the paper's finding)",
